@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every harness honours the WB_BENCH_SCALE environment variable
+ * (default 1.0): it scales the synthetic benchmarks' iteration
+ * counts, letting CI run a fast smoke pass while full runs
+ * reproduce the figures with more signal.
+ */
+
+#ifndef WB_BENCH_COMMON_HH
+#define WB_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "system/system.hh"
+#include "workload/benchmarks.hh"
+
+namespace wbench
+{
+
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("WB_BENCH_SCALE"))
+        return std::atof(s);
+    return 1.0;
+}
+
+/** Build the paper's 16-core machine for a commit mode / class. */
+inline wb::SystemConfig
+paperConfig(wb::CommitMode mode,
+            wb::CoreClass cls = wb::CoreClass::SLM)
+{
+    wb::SystemConfig cfg;
+    cfg.numCores = 16;
+    cfg.core = wb::makeCoreConfig(cls);
+    cfg.checker = false; // timing runs; tests cover correctness
+    cfg.maxCycles = 400'000'000;
+    cfg.setMode(mode);
+    return cfg;
+}
+
+/** Run one benchmark profile; fatal-ish warning if incomplete. */
+inline wb::SimResults
+runBenchmark(const std::string &name, wb::CommitMode mode,
+             wb::CoreClass cls, double scale)
+{
+    wb::Workload wl = wb::makeBenchmark(name, 16, scale);
+    wb::System sys(paperConfig(mode, cls), wl);
+    wb::SimResults r = sys.run();
+    if (!r.completed)
+        std::fprintf(stderr,
+                     "WARNING: %s (%s/%s) did not complete\n",
+                     name.c_str(), wb::commitModeName(mode),
+                     wb::coreClassName(cls));
+    return r;
+}
+
+inline void
+printRule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace wbench
+
+#endif // WB_BENCH_COMMON_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 9 reproduction: the *cost* of the WritersBlock protocol.
+ *
+ * Same core (in-order commit), two protocol flavours:
+ *   base — squash-and-re-execute core on the baseline MESI
+ *          directory protocol;
+ *   WB   — lockdown core on the WritersBlock protocol.
+ *
+ * The paper's claim: execution time and network traffic are
+ * essentially unchanged (WritersBlock only acts in the rare racy
+ * cases, and delaying a write costs less than a squash).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace wb;
+    const double scale = wbench::benchScale();
+    std::printf("Figure 9: WritersBlock protocol overhead vs the "
+                "base directory protocol\n");
+    std::printf("mode: in-order commit, 16 cores (scale %.2f); "
+                "values normalised to base\n\n",
+                scale);
+    std::printf("%-15s %12s %12s %12s %12s %10s %12s %10s\n",
+                "benchmark", "time(base)", "time(WB)", "norm-time",
+                "norm-traffic", "wb-events", "inv-squash", "(was)");
+    wbench::printRule(102);
+
+    double time_sum = 0, traffic_sum = 0;
+    int n = 0;
+    for (const std::string &name : benchmarkNames()) {
+        // Base: squash core, base protocol, in-order commit.
+        SimResults base = wbench::runBenchmark(
+            name, CommitMode::InOrder, CoreClass::SLM, scale);
+        // WB: lockdown core on the WritersBlock protocol, still
+        // committing in order (Section 5.1: neither benefit nor
+        // penalty expected).
+        Workload wl = makeBenchmark(name, 16, scale);
+        SystemConfig cfg =
+            wbench::paperConfig(CommitMode::InOrder);
+        cfg.core.lockdown = true;
+        cfg.mem.writersBlock = true;
+        System sys(cfg, wl);
+        SimResults wbr = sys.run();
+
+        const double nt = base.cycles
+                              ? double(wbr.cycles) /
+                                    double(base.cycles)
+                              : 0.0;
+        const double nf = base.flitHops
+                              ? double(wbr.flitHops) /
+                                    double(base.flitHops)
+                              : 0.0;
+        time_sum += nt;
+        traffic_sum += nf;
+        ++n;
+        std::printf("%-15s %12llu %12llu %12.4f %12.4f %10llu "
+                    "%12llu %10llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(base.cycles),
+                    static_cast<unsigned long long>(wbr.cycles),
+                    nt, nf,
+                    static_cast<unsigned long long>(wbr.wbEntries),
+                    static_cast<unsigned long long>(
+                        wbr.squashInv),
+                    static_cast<unsigned long long>(
+                        base.squashInv));
+    }
+    wbench::printRule(102);
+    std::printf("%-15s %38.4f %12.4f\n", "average", time_sum / n,
+                traffic_sum / n);
+    std::printf("\npaper: both averages ~1.00 — the protocol "
+                "modifications are imperceptible when the\n"
+                "core does not exploit them. The last two columns "
+                "show the efficiency win even for\n"
+                "in-order commit: consistency squashes drop to "
+                "zero because lockdowns replace them\n"
+                "(Figure 2 of the paper).\n");
+    return 0;
+}

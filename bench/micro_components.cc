@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): costs of the
+ * simulator's hot primitives. Useful when tuning the simulator
+ * itself; not part of the paper's evaluation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "checker/tso_checker.hh"
+#include "isa/func_sim.hh"
+#include "mem/cache_array.hh"
+#include "network/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace wb;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(std::uint64_t(i % 7),
+                          [&sink] { ++sink; });
+        eq.runUntil(eq.now() + 8);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    CacheArray<DataBlock> c(128 * 1024, 8);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = lineOf(rng.next() % (1 << 22));
+        if (!c.find(a) && !c.needVictim(a))
+            c.allocate(a);
+    }
+    Rng probe(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.find(lineOf(probe.next() % (1 << 22))));
+    }
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_MeshSend(benchmark::State &state)
+{
+    EventQueue eq;
+    StatRegistry st;
+    MeshNetwork net("net", &eq, &st, MeshConfig{});
+    for (int i = 0; i < 16; ++i)
+        net.registerNode(i, [](MsgPtr) {});
+    Rng rng(3);
+    for (auto _ : state) {
+        auto m = std::make_shared<NetMsg>();
+        m->src = int(rng.below(16));
+        m->dst = int(rng.below(16));
+        m->flits = 5;
+        net.send(std::move(m));
+        if (eq.size() > 4096)
+            eq.runAll();
+    }
+    eq.runAll();
+}
+BENCHMARK(BM_MeshSend);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(9);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += rng.next();
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_CheckerLoadCompleted(benchmark::State &state)
+{
+    EventQueue eq;
+    TsoChecker chk(&eq, 1);
+    Version v = 0;
+    for (int i = 0; i < 1024; ++i)
+        chk.storePerformed(0, 0x1000, i, ++v);
+    for (auto _ : state)
+        chk.loadCompleted(0, 0x1000, v, false);
+    benchmark::DoNotOptimize(chk.clean());
+}
+BENCHMARK(BM_CheckerLoadCompleted);
+
+void
+BM_FuncSimStep(benchmark::State &state)
+{
+    SyntheticParams p;
+    p.iterations = 1u << 30; // effectively endless
+    p.seed = 5;
+    Workload wl = makeSynthetic(p, 2);
+    FuncSim fs(wl, 7);
+    for (auto _ : state)
+        fs.step();
+    benchmark::DoNotOptimize(fs.instructionsRetired());
+}
+BENCHMARK(BM_FuncSimStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Commit-mode tour: run one memory-bound benchmark profile on the
+ * 16-core machine under the three commit disciplines and the three
+ * Table 6 core classes, reporting the speedup that WritersBlock
+ * unlocks (a miniature of the paper's Figure 10).
+ *
+ *   $ ./commit_mode_tour [benchmark] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "system/system.hh"
+#include "workload/benchmarks.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wb;
+
+    const std::string bench = argc > 1 ? argv[1] : "ocean_ncp";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+    Workload wl = makeBenchmark(bench, 16, scale);
+    std::printf("benchmark profile: %s (scale %.2f)\n\n",
+                bench.c_str(), scale);
+
+    for (CoreClass cls :
+         {CoreClass::SLM, CoreClass::NHM, CoreClass::HSW}) {
+        Tick in_order = 0;
+        std::printf("%s-class core:\n", coreClassName(cls));
+        for (CommitMode mode :
+             {CommitMode::InOrder, CommitMode::OooSafe,
+              CommitMode::OooWB}) {
+            SystemConfig cfg;
+            cfg.numCores = 16;
+            cfg.core = makeCoreConfig(cls);
+            cfg.checker = false; // timing run
+            cfg.setMode(mode);
+            System sys(cfg, wl);
+            SimResults r = sys.run();
+            if (!r.completed) {
+                std::printf("  %-18s DID NOT COMPLETE\n",
+                            commitModeName(mode));
+                continue;
+            }
+            if (mode == CommitMode::InOrder)
+                in_order = r.cycles;
+            const double speedup =
+                in_order ? double(in_order) / double(r.cycles)
+                         : 1.0;
+            std::printf("  %-18s %10llu cycles  speedup %.3fx  "
+                        "(OoO commits %llu, WB delays %llu)\n",
+                        commitModeName(mode),
+                        static_cast<unsigned long long>(r.cycles),
+                        speedup,
+                        static_cast<unsigned long long>(
+                            r.oooCommits),
+                        static_cast<unsigned long long>(
+                            r.wbEntries));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory-system configuration (Table 6 defaults).
+ */
+
+#ifndef WB_COHERENCE_CONFIG_HH
+#define WB_COHERENCE_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace wb
+{
+
+struct MemSystemConfig
+{
+    // Private hierarchy (per core)
+    std::uint64_t l1Size = 32 * 1024;
+    unsigned l1Assoc = 8;
+    Tick l1HitLatency = 4;
+    std::uint64_t l2Size = 128 * 1024;
+    unsigned l2Assoc = 8;
+    Tick l2HitLatency = 12;
+    unsigned numMshrs = 16;      //!< plus one reserved for SoS reads
+    /** Next-line prefetch on demand read misses (uses spare MSHRs,
+     *  never the reserved SoS entry). Off by default. */
+    bool prefetchNextLine = false;
+    unsigned wbBufferSize = 8;   //!< private writeback buffer entries
+
+    // Shared LLC (per bank)
+    std::uint64_t llcBankSize = 1024 * 1024;
+    unsigned llcAssoc = 8;
+    /** Number of address-interleaved banks (set by the System). */
+    unsigned numBanks = 16;
+    Tick llcHitLatency = 35;
+    unsigned llcEvictionBuffer = 16; //!< directory eviction buffer
+
+    // Memory
+    Tick memLatency = 160;
+
+    /**
+     * Shared-line eviction policy (Section 3.8). Silent evictions
+     * leave the core on the sharer list (later invalidations still
+     * query its LQ); non-silent PutS removes it, which in a
+     * squash-and-re-execute core must squash M-speculative loads,
+     * and in a lockdown core falls back to silent when a lockdown
+     * is active. The paper's baseline uses silent evictions (9.6%
+     * lower traffic).
+     */
+    bool silentSharedEvictions = true;
+
+    /**
+     * Protocol flavour: false = baseline directory MESI (cores must
+     * answer invalidations with Ack, squashing reordered loads);
+     * true = WritersBlock extension (Nack/lockdown supported).
+     */
+    bool writersBlock = false;
+};
+
+} // namespace wb
+
+#endif // WB_COHERENCE_CONFIG_HH

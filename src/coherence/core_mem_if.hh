@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The interface between a core and its private cache controller.
+ *
+ * The L1 controller calls back into the core for load completions and
+ * — crucially for this paper — for coherence invalidations, which the
+ * core answers by squashing (baseline squash-and-re-execute) or by
+ * refusing the acknowledgement (lockdown, Section 3.2).
+ */
+
+#ifndef WB_COHERENCE_CORE_MEM_IF_HH
+#define WB_COHERENCE_CORE_MEM_IF_HH
+
+#include <cstdint>
+
+#include "mem/addr.hh"
+#include "mem/data_block.hh"
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/** Core's answer to a coherence invalidation of @p line. */
+enum class InvResponse
+{
+    /**
+     * Acknowledge. Either no reordered (M-speculative) load matched
+     * the line, or matching loads were squashed
+     * (squash-and-re-execute baseline).
+     */
+    Ack,
+    /**
+     * Refuse: at least one load is in lockdown on the line. The core
+     * *must* later call L1Controller::lockdownLifted(line) exactly
+     * once, when the youngest lockdown for the line is released.
+     */
+    Nack,
+};
+
+/** How a load's value was obtained (for stats and the checker). */
+enum class LoadSource
+{
+    CacheHitL1,
+    CacheHitL2,
+    CacheFill,   //!< miss completed with a cacheable copy
+    EarlyData,   //!< bound from in-flight MSHR data
+    TearOff,     //!< uncacheable tear-off copy (WritersBlock)
+    Forwarded,   //!< store-to-load forwarding (core side, not L1)
+};
+
+/**
+ * Callbacks the L1 controller makes into its core. Implemented by the
+ * out-of-order core model and by protocol-test harnesses.
+ */
+class CoreMemIf
+{
+  public:
+    virtual ~CoreMemIf() = default;
+
+    /**
+     * A coherence invalidation (write Inv, owner FwdGetX, or Recall)
+     * reached this core for @p line. Called even when the line is no
+     * longer cached (silent evictions leave stale sharers).
+     */
+    virtual InvResponse coherenceInvalidation(Addr line) = 0;
+
+    /**
+     * Load completion: the word at @p addr bound @p value (write
+     * version @p ver).
+     */
+    virtual void loadResponse(InstSeqNum seq, Addr addr,
+                              std::uint64_t value, Version ver,
+                              LoadSource src) = 0;
+
+    /**
+     * The load received an uncacheable tear-off copy it may not use
+     * because it is not ordered (Section 3.4). The core must reissue
+     * the load via issueLoad() once it becomes the SoS load.
+     */
+    virtual void loadMustRetry(InstSeqNum seq, Addr addr) = 0;
+
+    /**
+     * @return true if any load (in the LQ or exported to the LDT)
+     * currently holds a lockdown on @p line. Used by the L1 to pin
+     * E/M victim lines (Section 3.8) — not a protocol action.
+     */
+    virtual bool coherenceLockdownQuery(Addr line) const = 0;
+
+    /**
+     * @return true if every load older than @p seq has performed,
+     * i.e. the load is ordered w.r.t. loads (it is the SoS load if it
+     * has not performed itself). Queried when tear-off data arrives.
+     */
+    virtual bool isLoadOrdered(InstSeqNum seq) const = 0;
+};
+
+} // namespace wb
+
+#endif // WB_COHERENCE_CORE_MEM_IF_HH

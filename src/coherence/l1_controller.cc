@@ -1,0 +1,953 @@
+#include "coherence/l1_controller.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace wb
+{
+
+L1Controller::L1Controller(std::string name, EventQueue *eq,
+                           StatRegistry *stats, CoreId id,
+                           const MemSystemConfig &cfg, Network *net,
+                           int num_banks)
+    : SimObject(std::move(name), eq, stats), _id(id), _cfg(cfg),
+      _net(net), _numBanks(num_banks),
+      _array(cfg.l2Size, cfg.l2Assoc),
+      _l1Tags(cfg.l1Size, cfg.l1Assoc),
+      _hitsL1(statGroup().counter("hitsL1")),
+      _hitsL2(statGroup().counter("hitsL2")),
+      _misses(statGroup().counter("misses")),
+      _getS(statGroup().counter("getS")),
+      _getX(statGroup().counter("getX")),
+      _upgrades(statGroup().counter("upgrades")),
+      _getU(statGroup().counter("getU")),
+      _invsReceived(statGroup().counter("invsReceived")),
+      _nacksSent(statGroup().counter("nacksSent")),
+      _tearoffUsed(statGroup().counter("tearoffUsed")),
+      _tearoffRetry(statGroup().counter("tearoffRetry")),
+      _blockedHints(statGroup().counter("blockedHints")),
+      _puts(statGroup().counter("puts")),
+      _putsShared(statGroup().counter("putsShared")),
+      _silentEvictions(statGroup().counter("silentEvictions")),
+      _stores(statGroup().counter("stores")),
+      _ackReleases(statGroup().counter("ackReleases")),
+      _prefetches(statGroup().counter("prefetches")),
+      _missLatency(statGroup().histogram("missLatency"))
+{}
+
+int
+L1Controller::home(Addr line) const
+{
+    return homeBank(line, _numBanks);
+}
+
+MsgPtr
+L1Controller::make(CohType t, Addr line, int dst)
+{
+    return makeCohMsg(t, line, _id, dst);
+}
+
+void
+L1Controller::send(MsgPtr msg)
+{
+    _net->send(std::move(msg));
+}
+
+void
+L1Controller::touchL1(Addr line)
+{
+    if (_l1Tags.findAndTouch(line))
+        return;
+    // Promote into the L1 filter, silently displacing the LRU tag.
+    if (_l1Tags.needVictim(line)) {
+        Addr victim = _l1Tags.pickVictim(
+            line, [](Addr, const char &) { return true; });
+        if (victim != invalidAddr)
+            _l1Tags.erase(victim);
+    }
+    _l1Tags.allocate(line);
+}
+
+// ---------------------------------------------------------------
+// Load path
+// ---------------------------------------------------------------
+
+void
+L1Controller::scheduleHit(InstSeqNum seq, Addr addr, Tick lat,
+                          LoadSource src)
+{
+    eventQueue().scheduleIn(lat, [this, seq, addr, src]() {
+        // Re-validate: the line may have been invalidated while the
+        // access was in flight; restart the access in that case so
+        // the load can never bind a value that bypassed an
+        // invalidation without lockdown protection.
+        PrivLine *pl = _array.find(lineOf(addr));
+        if (pl) {
+            bindLoad(WaitingLoad{seq, addr}, pl->data, src);
+        } else if (!issueLoad(seq, addr)) {
+            // Resources exhausted right now: retry until accepted
+            // (the core no longer tracks this access).
+            scheduleHit(seq, addr, 1, src);
+        }
+    });
+}
+
+void
+L1Controller::bindLoad(const WaitingLoad &wl, const DataBlock &data,
+                       LoadSource src)
+{
+    assert(_core);
+    _ledger.erase(wl.seq);
+    _core->loadResponse(wl.seq, wl.addr, data.readWord(wl.addr),
+                        data.readVersion(wl.addr), src);
+}
+
+bool
+L1Controller::issueLoad(InstSeqNum seq, Addr addr)
+{
+    const Addr line = lineOf(addr);
+    _ledger[seq] = "issue";
+
+    // A private writeback is in flight for this line: wait for the
+    // WBAck (one outstanding transaction per line). A SoS load is
+    // re-driven through the uncacheable bypass by loadBecameSoS().
+    if (_wbBuf.count(line)) {
+        if (_core->isLoadOrdered(seq))
+            return issueGetU(seq, addr);
+        _ledger[seq] = "wb-wait";
+        _wbWaiters[line].push_back(WaitingLoad{seq, addr});
+        return true;
+    }
+
+    if (PrivLine *pl = _array.findAndTouch(line)) {
+        (void)pl;
+        const bool in_l1 = _l1Tags.find(line) != nullptr;
+        if (in_l1)
+            ++_hitsL1;
+        else
+            ++_hitsL2;
+        touchL1(line);
+        _ledger[seq] = "hit-scheduled";
+        scheduleHit(seq, addr, in_l1 ? _cfg.l1HitLatency
+                                     : _cfg.l2HitLatency,
+                    in_l1 ? LoadSource::CacheHitL1
+                          : LoadSource::CacheHitL2);
+        return true;
+    }
+
+    ++_misses;
+
+    auto it = _mshrs.find(line);
+    if (it != _mshrs.end()) {
+        Mshr &m = it->second;
+        if (m.dataArrived) {
+            // Early consumption: the directory has registered us for
+            // this line, so invalidations will reach the load queue
+            // and the lockdown discipline is preserved. The bind
+            // must re-validate at fire time: an invalidation in the
+            // 1-cycle window cancels the pending fill, and binding
+            // the stale copy then would escape the LQ query.
+            _ledger[seq] = "early-data";
+            eventQueue().scheduleIn(1, [this, seq, addr]() {
+                const Addr l = lineOf(addr);
+                auto mit = _mshrs.find(l);
+                if (mit != _mshrs.end() &&
+                    mit->second.dataArrived) {
+                    bindLoad(WaitingLoad{seq, addr},
+                             mit->second.data,
+                             LoadSource::EarlyData);
+                } else if (const PrivLine *pl = _array.find(l)) {
+                    bindLoad(WaitingLoad{seq, addr}, pl->data,
+                             LoadSource::EarlyData);
+                } else if (!issueLoad(seq, addr)) {
+                    _ledger[seq] = "retryQ";
+                    _loadRetryQ.push_back(WaitingLoad{seq, addr});
+                }
+            });
+            return true;
+        }
+        if (m.kind == Mshr::Kind::Write && m.blocked &&
+            _core->isLoadOrdered(seq)) {
+            // SoS bypass of a blocked write (Section 3.5.2).
+            return issueGetU(seq, addr);
+        }
+        _ledger[seq] = "piggyback";
+        m.loads.push_back(WaitingLoad{seq, addr});
+        return true;
+    }
+
+    if (_mshrs.size() >= _cfg.numMshrs) {
+        // MSHRs exhausted. SoS loads use the reserved entry.
+        if (_core->isLoadOrdered(seq))
+            return issueGetU(seq, addr);
+        _ledger.erase(seq);
+        return false;
+    }
+
+    Mshr &m = _mshrs[line];
+    m.kind = Mshr::Kind::Read;
+    m.line = line;
+    _ledger[seq] = "mshr-new";
+    m.loads.push_back(WaitingLoad{seq, addr, now()});
+    ++_getS;
+    // Charge the private tag lookups before the request leaves.
+    eventQueue().scheduleIn(_cfg.l2HitLatency, [this, line]() {
+        send(make(CohType::GetS, line, home(line)));
+    });
+    if (_cfg.prefetchNextLine)
+        maybePrefetch(line + lineBytes);
+    return true;
+}
+
+void
+L1Controller::maybePrefetch(Addr next_line)
+{
+    // Keep headroom: never consume the last two demand MSHRs, never
+    // conflict with an outstanding transaction or writeback, skip
+    // lines already cached.
+    if (_mshrs.size() + 2 > _cfg.numMshrs)
+        return;
+    if (_array.find(next_line) || _mshrs.count(next_line) ||
+        _wbBuf.count(next_line))
+        return;
+    Mshr &m = _mshrs[next_line];
+    m.kind = Mshr::Kind::Read;
+    m.line = next_line;
+    // No waiting loads: the fill (or a dropped tear-off) is the
+    // whole effect.
+    ++_prefetches;
+    eventQueue().scheduleIn(_cfg.l2HitLatency,
+                            [this, next_line]() {
+                                send(make(CohType::GetS, next_line,
+                                          home(next_line)));
+                            });
+}
+
+bool
+L1Controller::issueGetU(InstSeqNum seq, Addr addr)
+{
+    if (_sosMshr) {
+        _ledger.erase(seq);
+        return false; // previous bypass still in flight; retry
+    }
+    _ledger[seq] = "getU";
+    _sosMshr.emplace();
+    _sosMshr->kind = Mshr::Kind::Unc;
+    _sosMshr->line = lineOf(addr);
+    _sosMshr->loads.push_back(WaitingLoad{seq, addr});
+    ++_getU;
+    send(make(CohType::GetU, lineOf(addr), home(lineOf(addr))));
+    return true;
+}
+
+void
+L1Controller::loadBecameSoS(InstSeqNum seq, Addr addr)
+{
+    const Addr line = lineOf(addr);
+
+    // Called (possibly repeatedly) by the core while its SoS load is
+    // parked; idempotent. Only unpark when a bypass actually issues.
+    if (_sosMshr && !_sosMshr->loads.empty() &&
+        _sosMshr->loads.front().seq == seq)
+        return; // bypass already in flight
+
+    // Parked behind a private writeback?
+    auto wit = _wbWaiters.find(line);
+    if (wit != _wbWaiters.end()) {
+        auto &v = wit->second;
+        auto pos = std::find_if(v.begin(), v.end(),
+                                [&](const WaitingLoad &wl) {
+                                    return wl.seq == seq;
+                                });
+        if (pos != v.end()) {
+            if (!issueGetU(seq, addr))
+                return; // reserved MSHR busy; retried next cycle
+            v.erase(pos);
+            if (v.empty())
+                _wbWaiters.erase(wit);
+            return;
+        }
+    }
+
+    // Waiting on a blocked write MSHR?
+    auto it = _mshrs.find(line);
+    if (it != _mshrs.end()) {
+        Mshr &m = it->second;
+        if (m.kind == Mshr::Kind::Write && m.blocked &&
+            !m.dataArrived) {
+            auto pos = std::find_if(m.loads.begin(), m.loads.end(),
+                                    [&](const WaitingLoad &wl) {
+                                        return wl.seq == seq;
+                                    });
+            if (pos != m.loads.end()) {
+                if (issueGetU(seq, addr))
+                    m.loads.erase(pos);
+            }
+        }
+    }
+    // Loads in tear-off retry are re-driven by the core calling
+    // issueLoad() again; nothing to do here.
+}
+
+// ---------------------------------------------------------------
+// Store path
+// ---------------------------------------------------------------
+
+bool
+L1Controller::hasWritePermission(Addr line) const
+{
+    const PrivLine *pl = _array.find(line);
+    return pl && (pl->st == PState::E || pl->st == PState::M);
+}
+
+bool
+L1Controller::isWriteBlocked(Addr line) const
+{
+    auto it = _mshrs.find(line);
+    return it != _mshrs.end() &&
+           it->second.kind == Mshr::Kind::Write &&
+           it->second.blocked;
+}
+
+void
+L1Controller::requestWritePermission(Addr line)
+{
+    assert(lineOf(line) == line);
+    if (hasWritePermission(line))
+        return;
+    if (_wbBuf.count(line))
+        return; // wait for the writeback to settle; caller polls
+    if (_mshrs.count(line))
+        return; // an outstanding transaction will resolve first
+    if (_mshrs.size() >= _cfg.numMshrs)
+        return; // caller polls
+
+    Mshr &m = _mshrs[line];
+    m.kind = Mshr::Kind::Write;
+    m.line = line;
+    const bool have_s = _array.find(line) != nullptr;
+    m.upgrade = have_s;
+    if (have_s) {
+        ++_upgrades;
+        send(make(CohType::Upgrade, line, home(line)));
+    } else {
+        ++_getX;
+        send(make(CohType::GetX, line, home(line)));
+    }
+}
+
+Version
+L1Controller::performStore(Addr addr, std::uint64_t value)
+{
+    const Addr line = lineOf(addr);
+    PrivLine *pl = _array.findAndTouch(line);
+    assert(pl && (pl->st == PState::E || pl->st == PState::M) &&
+           "performStore without write permission");
+    pl->st = PState::M;
+    touchL1(line);
+    const Version ver = pl->data.readVersion(addr) + 1;
+    pl->data.writeWord(addr, value, ver);
+    ++_stores;
+    if (_observer)
+        _observer->storePerformed(_id, wordOf(addr), value, ver);
+    return ver;
+}
+
+std::pair<std::uint64_t, Version>
+L1Controller::performAtomic(
+    Addr addr, const std::function<std::uint64_t(std::uint64_t)> &op)
+{
+    const Addr line = lineOf(addr);
+    PrivLine *pl = _array.findAndTouch(line);
+    assert(pl && (pl->st == PState::E || pl->st == PState::M) &&
+           "performAtomic without write permission");
+    pl->st = PState::M;
+    touchL1(line);
+    const std::uint64_t old = pl->data.readWord(addr);
+    const Version old_ver = pl->data.readVersion(addr);
+    const std::uint64_t next = op(old);
+    pl->data.writeWord(addr, next, old_ver + 1);
+    ++_stores;
+    if (_observer)
+        _observer->storePerformed(_id, wordOf(addr), next,
+                                  old_ver + 1);
+    return {old, old_ver};
+}
+
+// ---------------------------------------------------------------
+// Fills and evictions
+// ---------------------------------------------------------------
+
+bool
+L1Controller::makeRoom(Addr line)
+{
+    if (!_array.needVictim(line))
+        return true;
+    Addr victim = _array.pickVictim(
+        line, [this](Addr tag, const PrivLine &pl) {
+            if (_mshrs.count(tag))
+                return false; // transaction in flight
+            if (_wbBuf.count(tag))
+                return false;
+            if (pl.st != PState::S && _core &&
+                _core->coherenceLockdownQuery(tag)) {
+                // Never evict an E/M line under lockdown; the
+                // directory must still be able to reach the load
+                // queue through us (Section 3.8).
+                return false;
+            }
+            return true;
+        });
+    if (victim == invalidAddr)
+        return false;
+
+    PrivLine *vp = _array.find(victim);
+    assert(vp);
+    if (vp->st == PState::S) {
+        // Section 3.8. Silent (the paper's baseline): stay on the
+        // sharer list so later invalidations still query the LQ.
+        // Non-silent (PutS): only when no lockdown guards the line
+        // — an eviction under lockdown must stay reachable — and a
+        // squash-and-re-execute core must squash M-speculative
+        // loads because it will not be notified of future writes.
+        if (_cfg.silentSharedEvictions ||
+            (_core && _core->coherenceLockdownQuery(victim))) {
+            ++_silentEvictions;
+        } else {
+            if (_wbBuf.size() >= _cfg.wbBufferSize)
+                return false;
+            if (_core)
+                _core->coherenceInvalidation(victim);
+            WbEntry &wb = _wbBuf[victim];
+            wb.data = vp->data;
+            wb.dirty = false;
+            ++_putsShared;
+            send(make(CohType::PutS, victim, home(victim)));
+        }
+    } else {
+        if (_wbBuf.size() >= _cfg.wbBufferSize)
+            return false;
+        WbEntry &wb = _wbBuf[victim];
+        wb.data = vp->data;
+        wb.dirty = vp->st == PState::M;
+        auto msg = make(wb.dirty ? CohType::PutM : CohType::PutE,
+                        victim, home(victim));
+        auto *cm = static_cast<CohMsg *>(msg.get());
+        if (wb.dirty) {
+            cm->hasData = true;
+            cm->dirty = true;
+            cm->data = wb.data;
+            cm->flits = dataFlits;
+        }
+        ++_puts;
+        send(std::move(msg));
+    }
+    if (_l1Tags.find(victim))
+        _l1Tags.erase(victim);
+    _array.erase(victim);
+    return true;
+}
+
+bool
+L1Controller::tryFill(Mshr &m)
+{
+    if (_array.find(m.line)) {
+        // Upgrade path: line already present; just promote state.
+        PrivLine *pl = _array.findAndTouch(m.line);
+        if (m.kind == Mshr::Kind::Write)
+            pl->st = PState::M;
+        touchL1(m.line);
+        return true;
+    }
+    if (!makeRoom(m.line))
+        return false;
+    PrivLine &pl = _array.allocate(m.line);
+    pl.data = m.data;
+    if (m.kind == Mshr::Kind::Write)
+        pl.st = PState::M;
+    else
+        pl.st = m.exclusive ? PState::E : PState::S;
+    touchL1(m.line);
+    return true;
+}
+
+void
+L1Controller::tick()
+{
+    if (!_loadRetryQ.empty()) {
+        std::vector<WaitingLoad> again;
+        for (const WaitingLoad &wl : _loadRetryQ) {
+            if (!issueLoad(wl.seq, wl.addr)) {
+                _ledger[wl.seq] = "retryQ";
+                again.push_back(wl);
+            }
+        }
+        _loadRetryQ = std::move(again);
+    }
+    if (_retryFills.empty())
+        return;
+    std::vector<Addr> again;
+    for (Addr line : _retryFills) {
+        auto it = _mshrs.find(line);
+        if (it == _mshrs.end())
+            continue; // cancelled by an invalidation
+        Mshr &m = it->second;
+        if (!m.fillPending)
+            continue;
+        if (tryFill(m)) {
+            if (m.kind == Mshr::Kind::Write)
+                send(make(CohType::Unblock, line, home(line)));
+            _mshrs.erase(it);
+        } else {
+            again.push_back(line);
+        }
+    }
+    _retryFills = std::move(again);
+}
+
+// ---------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------
+
+void
+L1Controller::handleMessage(MsgPtr msg)
+{
+    auto &m = static_cast<CohMsg &>(*msg);
+    WB_TRACE(LogFlag::Cache, now(), name().c_str(),
+             "rx %s line %llx from %d", cohTypeName(m.type),
+             static_cast<unsigned long long>(m.line), m.src);
+    switch (m.type) {
+      case CohType::Inv: handleInv(m); break;
+      case CohType::Recall: handleRecall(m); break;
+      case CohType::FwdGetS: handleFwdGetS(m); break;
+      case CohType::FwdGetX: handleFwdGetX(m); break;
+      case CohType::FwdGetU: handleFwdGetU(m); break;
+      case CohType::Data: handleData(m); break;
+      case CohType::DataX: handleDataX(m); break;
+      case CohType::UpgradeAck: handleUpgradeAck(m); break;
+      case CohType::InvAck:
+      case CohType::RedirAck: handleAck(m); break;
+      case CohType::UData: handleUData(m); break;
+      case CohType::BlockedHint: handleBlockedHint(m); break;
+      case CohType::WBAck:
+      case CohType::WBStale: handleWbDone(m); break;
+      default:
+        panic("L1 %d: unexpected message %s", _id,
+              cohTypeName(m.type));
+    }
+}
+
+void
+L1Controller::invalidateLine(Addr line)
+{
+    if (_array.find(line))
+        _array.erase(line);
+    if (_l1Tags.find(line))
+        _l1Tags.erase(line);
+    // Cancel a pending allocation of stale data for this line.
+    auto it = _mshrs.find(line);
+    if (it != _mshrs.end() && it->second.fillPending) {
+        // The waiting loads already bound (early consumption) under
+        // lockdown protection; drop the stale fill entirely.
+        _mshrs.erase(it);
+    }
+}
+
+bool
+L1Controller::answerInvalidation(CohMsg &m, bool was_owner,
+                                 const DataBlock *data, bool dirty)
+{
+    ++_invsReceived;
+    assert(_core);
+    const InvResponse r = _core->coherenceInvalidation(m.line);
+    const bool to_dir = m.type == CohType::Recall;
+    if (r == InvResponse::Nack) {
+        ++_nacksSent;
+        auto nack = make(CohType::InvNack, m.line, home(m.line));
+        auto *cm = static_cast<CohMsg *>(nack.get());
+        cm->txnId = m.txnId;
+        if (was_owner) {
+            cm->hasData = true;
+            cm->dirty = dirty;
+            cm->data = *data;
+            cm->flits = dataFlits;
+        }
+        send(std::move(nack));
+        return true;
+    }
+    auto ack = make(to_dir ? CohType::RecallAck : CohType::InvAck,
+                    m.line, to_dir ? home(m.line) : m.requestor);
+    auto *cm = static_cast<CohMsg *>(ack.get());
+    cm->txnId = m.txnId;
+    if (to_dir && was_owner) {
+        cm->hasData = true;
+        cm->dirty = dirty;
+        cm->data = *data;
+        cm->flits = dataFlits;
+    }
+    send(std::move(ack));
+    return false;
+}
+
+void
+L1Controller::handleInv(CohMsg &m)
+{
+    // Plain Inv targets shared copies (or stale sharers after a
+    // silent eviction). We are never the owner here.
+    invalidateLine(m.line);
+    answerInvalidation(m, false, nullptr, false);
+}
+
+void
+L1Controller::handleRecall(CohMsg &m)
+{
+    const PrivLine *pl = _array.find(m.line);
+    bool was_owner = false;
+    DataBlock data{};
+    bool dirty = false;
+    if (pl) {
+        was_owner = pl->st != PState::S;
+        data = pl->data;
+        dirty = pl->st == PState::M;
+    } else if (auto it = _wbBuf.find(m.line); it != _wbBuf.end()) {
+        // Our PutM/PutE raced with the recall: answer from the
+        // writeback buffer; the deferred Put will be WBStale'd.
+        was_owner = true;
+        data = it->second.data;
+        dirty = it->second.dirty;
+    }
+    invalidateLine(m.line);
+    answerInvalidation(m, was_owner, &data, dirty);
+}
+
+void
+L1Controller::handleFwdGetS(CohMsg &m)
+{
+    // We are (or were, if a writeback is racing) the owner: supply
+    // the reader and send a copy home; downgrade to S. A lockdown
+    // never interferes with reads.
+    DataBlock data{};
+    bool have = false;
+    bool retained = true;
+    if (PrivLine *pl = _array.find(m.line)) {
+        data = pl->data;
+        have = true;
+        pl->st = PState::S;
+    } else if (auto it = _wbBuf.find(m.line); it != _wbBuf.end()) {
+        data = it->second.data;
+        have = true;
+        retained = false;
+    }
+    assert(have && "FwdGetS: no data at owner");
+    (void)have;
+
+    auto rsp = make(CohType::Data, m.line, m.requestor);
+    auto *cr = static_cast<CohMsg *>(rsp.get());
+    cr->hasData = true;
+    cr->data = data;
+    cr->flits = dataFlits;
+    send(std::move(rsp));
+
+    auto copy = make(CohType::CopyData, m.line, home(m.line));
+    auto *cc = static_cast<CohMsg *>(copy.get());
+    cc->hasData = true;
+    cc->dirty = true;
+    cc->data = data;
+    cc->ownerRetained = retained;
+    cc->txnId = m.txnId;
+    cc->flits = dataFlits;
+    send(std::move(copy));
+}
+
+void
+L1Controller::handleFwdGetX(CohMsg &m)
+{
+    // We are the owner; a writer wants the line. Data goes to the
+    // writer either way; the ack is withheld (Nack to the directory,
+    // with data for the LLC) if a load is in lockdown (Figure 3.B).
+    DataBlock data{};
+    bool dirty = false;
+    if (const PrivLine *pl = _array.find(m.line)) {
+        data = pl->data;
+        dirty = pl->st == PState::M;
+    } else if (auto it = _wbBuf.find(m.line); it != _wbBuf.end()) {
+        data = it->second.data;
+        dirty = it->second.dirty;
+    } else {
+        panic("L1 %d: FwdGetX without data, line %llx", _id,
+              static_cast<unsigned long long>(m.line));
+    }
+    invalidateLine(m.line);
+
+    ++_invsReceived;
+    const InvResponse r = _core->coherenceInvalidation(m.line);
+
+    auto rsp = make(CohType::DataX, m.line, m.requestor);
+    auto *cr = static_cast<CohMsg *>(rsp.get());
+    cr->hasData = true;
+    cr->dirty = dirty;
+    cr->data = data;
+    cr->flits = dataFlits;
+    cr->ackCount = r == InvResponse::Nack ? 1 : 0;
+    send(std::move(rsp));
+
+    if (r == InvResponse::Nack) {
+        ++_nacksSent;
+        auto nack = make(CohType::InvNack, m.line, home(m.line));
+        auto *cn = static_cast<CohMsg *>(nack.get());
+        cn->txnId = m.txnId;
+        cn->hasData = true;
+        cn->dirty = true;
+        cn->data = data;
+        cn->flits = dataFlits;
+        send(std::move(nack));
+    }
+}
+
+void
+L1Controller::handleFwdGetU(CohMsg &m)
+{
+    DataBlock data{};
+    if (const PrivLine *pl = _array.find(m.line)) {
+        data = pl->data;
+    } else if (auto it = _wbBuf.find(m.line); it != _wbBuf.end()) {
+        data = it->second.data;
+    } else {
+        // Our writeback raced with this forward (GetU leaves no
+        // transient at the directory): bounce the request back to
+        // the home, which by now owns current data, preserving the
+        // original requestor.
+        auto bounce = make(CohType::GetU, m.line, home(m.line));
+        static_cast<CohMsg *>(bounce.get())->requestor =
+            m.requestor;
+        send(std::move(bounce));
+        return;
+    }
+    auto rsp = make(CohType::UData, m.line, m.requestor);
+    auto *cr = static_cast<CohMsg *>(rsp.get());
+    cr->hasData = true;
+    cr->data = data;
+    // FwdGetU only ever forwards a GetU (SoS bypass) request.
+    cr->fromGetU = true;
+    cr->flits = dataFlits;
+    send(std::move(rsp));
+}
+
+void
+L1Controller::handleData(CohMsg &m)
+{
+    auto it = _mshrs.find(m.line);
+    assert(it != _mshrs.end() && it->second.kind == Mshr::Kind::Read);
+    Mshr &mshr = it->second;
+    mshr.dataArrived = true;
+    mshr.exclusive = m.exclusive;
+    mshr.data = m.data;
+    for (const auto &wl : mshr.loads) {
+        if (wl.issued)
+            _missLatency.sample(now() - wl.issued);
+        bindLoad(wl, mshr.data, LoadSource::CacheFill);
+    }
+    mshr.loads.clear();
+    send(make(CohType::Unblock, m.line, home(m.line)));
+    if (tryFill(mshr)) {
+        _mshrs.erase(it);
+    } else {
+        mshr.fillPending = true;
+        _retryFills.push_back(m.line);
+    }
+}
+
+void
+L1Controller::handleDataX(CohMsg &m)
+{
+    auto it = _mshrs.find(m.line);
+    assert(it != _mshrs.end() &&
+           it->second.kind == Mshr::Kind::Write);
+    Mshr &mshr = it->second;
+    mshr.dataArrived = true;
+    mshr.grantSeen = true;
+    mshr.acksExpected = m.ackCount;
+    mshr.data = m.data;
+    for (const auto &wl : mshr.loads)
+        bindLoad(wl, mshr.data, LoadSource::EarlyData);
+    mshr.loads.clear();
+    maybeCompleteWrite(mshr);
+}
+
+void
+L1Controller::handleUpgradeAck(CohMsg &m)
+{
+    auto it = _mshrs.find(m.line);
+    assert(it != _mshrs.end() &&
+           it->second.kind == Mshr::Kind::Write);
+    Mshr &mshr = it->second;
+    mshr.grantSeen = true;
+    mshr.acksExpected = m.ackCount;
+    // Data stays in the (still valid) local S copy.
+    assert(_array.find(m.line) &&
+           "UpgradeAck for a line we no longer hold");
+    maybeCompleteWrite(mshr);
+}
+
+void
+L1Controller::handleAck(CohMsg &m)
+{
+    auto it = _mshrs.find(m.line);
+    assert(it != _mshrs.end() &&
+           it->second.kind == Mshr::Kind::Write &&
+           "stray invalidation ack");
+    Mshr &mshr = it->second;
+    ++mshr.acksReceived;
+    maybeCompleteWrite(mshr);
+}
+
+void
+L1Controller::maybeCompleteWrite(Mshr &m)
+{
+    if (!m.grantSeen)
+        return;
+    const bool data_ok = m.upgrade ? true : m.dataArrived;
+    if (!data_ok || m.acksReceived < m.acksExpected)
+        return;
+    assert(m.acksReceived == m.acksExpected);
+    const Addr line = m.line;
+    if (m.upgrade && _array.find(line)) {
+        PrivLine *pl = _array.findAndTouch(line);
+        pl->st = PState::M;
+        touchL1(line);
+        send(make(CohType::Unblock, line, home(line)));
+        _mshrs.erase(line);
+    } else if (tryFill(m)) {
+        send(make(CohType::Unblock, line, home(line)));
+        _mshrs.erase(line);
+    } else {
+        m.fillPending = true;
+        _retryFills.push_back(line);
+    }
+}
+
+void
+L1Controller::handleUData(CohMsg &m)
+{
+    if (m.fromGetU) {
+        if (!_sosMshr || _sosMshr->line != m.line)
+            return; // stale bypass response; drop
+        Mshr mshr = std::move(*_sosMshr);
+        _sosMshr.reset();
+        for (const auto &wl : mshr.loads) {
+            if (_core->isLoadOrdered(wl.seq)) {
+                ++_tearoffUsed;
+                bindLoad(wl, m.data, LoadSource::TearOff);
+            } else {
+                ++_tearoffRetry;
+                _ledger.erase(wl.seq);
+                _core->loadMustRetry(wl.seq, wl.addr);
+            }
+        }
+        return;
+    }
+    // A cacheable GetS answered with a tear-off copy: the directory
+    // is in WritersBlock. Only an ordered load may consume it
+    // (Section 3.4); the rest retry when they become the SoS load.
+    auto it = _mshrs.find(m.line);
+    if (it == _mshrs.end())
+        return; // stale (e.g. MSHR cancelled); drop
+    Mshr &mshr = it->second;
+    assert(mshr.kind == Mshr::Kind::Read);
+    for (const auto &wl : mshr.loads) {
+        if (_core->isLoadOrdered(wl.seq)) {
+            ++_tearoffUsed;
+            bindLoad(wl, m.data, LoadSource::TearOff);
+        } else {
+            ++_tearoffRetry;
+            _ledger.erase(wl.seq);
+            _core->loadMustRetry(wl.seq, wl.addr);
+        }
+    }
+    _mshrs.erase(it);
+}
+
+void
+L1Controller::handleBlockedHint(CohMsg &m)
+{
+    auto it = _mshrs.find(m.line);
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write)
+        return; // write already completed; drop
+    Mshr &mshr = it->second;
+    if (mshr.blocked)
+        return;
+    mshr.blocked = true;
+    ++_blockedHints;
+    // Let any ordered waiter bypass immediately (Section 3.5.2);
+    // if the reserved MSHR is busy, leave the waiter in place — the
+    // core's SoS drive retries through loadBecameSoS().
+    for (auto wit = mshr.loads.begin(); wit != mshr.loads.end();
+         ++wit) {
+        if (_core->isLoadOrdered(wit->seq)) {
+            WaitingLoad wl = *wit;
+            if (issueGetU(wl.seq, wl.addr))
+                mshr.loads.erase(wit);
+            break;
+        }
+    }
+}
+
+void
+L1Controller::handleWbDone(CohMsg &m)
+{
+    _wbBuf.erase(m.line);
+    auto it = _wbWaiters.find(m.line);
+    if (it == _wbWaiters.end())
+        return;
+    std::vector<WaitingLoad> waiters = std::move(it->second);
+    _wbWaiters.erase(it);
+    for (const auto &wl : waiters) {
+        if (!issueLoad(wl.seq, wl.addr)) {
+            _ledger[wl.seq] = "retryQ";
+            _loadRetryQ.push_back(wl);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Lockdown plumbing
+// ---------------------------------------------------------------
+
+void
+L1Controller::dumpState(std::ostream &os) const
+{
+    if (_mshrs.empty() && !_sosMshr && _wbBuf.empty() &&
+        _wbWaiters.empty() && _ledger.empty())
+        return;
+    os << name() << ":\n";
+    for (const auto &[line, m] : _mshrs) {
+        os << "  mshr line=" << std::hex << line << std::dec
+           << " kind=" << int(m.kind) << " blocked=" << m.blocked
+           << " grant=" << m.grantSeen << " data=" << m.dataArrived
+           << " acks=" << m.acksReceived << "/" << m.acksExpected
+           << " fillPend=" << m.fillPending
+           << " waiters=" << m.loads.size() << "\n";
+    }
+    if (_sosMshr)
+        os << "  sosMshr line=" << std::hex << _sosMshr->line
+           << std::dec << "\n";
+    for (const auto &[line, wb] : _wbBuf)
+        os << "  wbBuf line=" << std::hex << line << std::dec
+           << "\n";
+    for (const auto &[line, v] : _wbWaiters)
+        os << "  wbWaiters line=" << std::hex << line << std::dec
+           << " n=" << v.size() << "\n";
+    for (const auto &[seq, tag] : _ledger)
+        os << "  ledger seq=" << seq << " state=" << tag << "\n";
+}
+
+void
+L1Controller::lockdownLifted(Addr line)
+{
+    ++_ackReleases;
+    send(make(CohType::AckRelease, line, home(line)));
+}
+
+} // namespace wb

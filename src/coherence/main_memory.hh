@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Flat functional backing store behind the LLC.
+ *
+ * Timing is modelled at the LLC banks (Table 6: 160-cycle access);
+ * this object only holds functional contents. Because the LLC is
+ * inclusive, memory is only read for lines with no private copies,
+ * so its contents are always current when read.
+ */
+
+#ifndef WB_COHERENCE_MAIN_MEMORY_HH
+#define WB_COHERENCE_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "mem/data_block.hh"
+
+namespace wb
+{
+
+/** Sparse functional main memory (line granularity). */
+class MainMemory
+{
+  public:
+    /** Read a full line; absent lines are zero, version 0. */
+    DataBlock
+    read(Addr line_addr) const
+    {
+        auto it = _lines.find(lineOf(line_addr));
+        return it == _lines.end() ? DataBlock{} : it->second;
+    }
+
+    void
+    write(Addr line_addr, const DataBlock &data)
+    {
+        _lines[lineOf(line_addr)] = data;
+    }
+
+    /** Functional word write for workload initialisation (ver 0). */
+    void
+    poke(Addr addr, std::uint64_t value)
+    {
+        _lines[lineOf(addr)].writeWord(addr, value, 0);
+    }
+
+    /** Functional word read (debug / final-state checks). */
+    std::uint64_t
+    peek(Addr addr) const
+    {
+        return read(lineOf(addr)).readWord(addr);
+    }
+
+    std::size_t lines() const { return _lines.size(); }
+
+  private:
+    std::unordered_map<Addr, DataBlock> _lines;
+};
+
+} // namespace wb
+
+#endif // WB_COHERENCE_MAIN_MEMORY_HH

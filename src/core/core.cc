@@ -1,0 +1,975 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace wb
+{
+
+Core::Core(std::string name, EventQueue *eq, StatRegistry *stats,
+           CoreId id, const CoreConfig &cfg, L1Controller *l1,
+           const Program *program)
+    : SimObject(std::move(name), eq, stats), _id(id), _cfg(cfg),
+      _l1(l1), _prog(program),
+      _cycles(statGroup().counter("cycles")),
+      _committed(statGroup().counter("commits")),
+      _loadsExecuted(statGroup().counter("loads")),
+      _storesCommitted(statGroup().counter("stores")),
+      _atomicsCommitted(statGroup().counter("atomics")),
+      _stallRobFull(statGroup().counter("stallRobFull")),
+      _stallLqFull(statGroup().counter("stallLqFull")),
+      _stallSqFull(statGroup().counter("stallSqFull")),
+      _stallOther(statGroup().counter("stallOther")),
+      _squashBranch(statGroup().counter("squashBranch")),
+      _squashDspec(statGroup().counter("squashDspec")),
+      _squashInv(statGroup().counter("squashInv")),
+      _squashedInstrs(statGroup().counter("squashedInstrs")),
+      _forwardedLoads(statGroup().counter("forwardedLoads")),
+      _lockdownsSet(statGroup().counter("lockdownsSet")),
+      _lockdownsSeen(statGroup().counter("lockdownsSeen")),
+      _ldtExports(statGroup().counter("ldtExports")),
+      _oooCommits(statGroup().counter("oooCommits")),
+      _tearoffBinds(statGroup().counter("tearoffBinds")),
+      _branchMispredicts(statGroup().counter("branchMispredicts")),
+      _branches(statGroup().counter("branches")),
+      _lockdownCycles(statGroup().histogram("lockdownCycles"))
+{
+    _regMap.fill(invalidSeqNum);
+    _archWriter.fill(0);
+    if (cfg.commitMode == CommitMode::OooWB && !cfg.lockdown)
+        fatal("OooWB commit requires a lockdown core");
+}
+
+bool
+Core::done() const
+{
+    return _halted && _sb.empty();
+}
+
+Core::RobEntry *
+Core::robFind(InstSeqNum seq)
+{
+    auto it = _rob.find(seq);
+    return it == _rob.end() ? nullptr : &it->second;
+}
+
+bool
+Core::orderedAtOrBefore(InstSeqNum seq) const
+{
+    return _frontier == invalidSeqNum || seq <= _frontier;
+}
+
+bool
+Core::isLoadOrdered(InstSeqNum seq) const
+{
+    return orderedAtOrBefore(seq);
+}
+
+bool
+Core::coherenceLockdownQuery(Addr line) const
+{
+    auto it = _locks.find(line);
+    return it != _locks.end() && it->second.count > 0;
+}
+
+InstSeqNum
+Core::oldestPendingAtomic() const
+{
+    for (const auto &[seq, lq] : _lq)
+        if (lq.isAtomic && !lq.performed)
+            return seq;
+    return invalidSeqNum;
+}
+
+// ---------------------------------------------------------------
+// Tick
+// ---------------------------------------------------------------
+
+void
+Core::tick()
+{
+    ++_cycles;
+    if (_halted) {
+        drainStoreBuffer();
+        return;
+    }
+    const std::uint64_t commits_before = _commits;
+    commit();
+    driveFence();
+    driveAtomic();
+    drainStoreBuffer();
+    issueFromIq();
+    memIssue();
+    driveSoS();
+    fetchAndDispatch();
+
+    if (_commits == commits_before && !_halted) {
+        if (int(_rob.size()) >= _cfg.robSize)
+            ++_stallRobFull;
+        else if (int(_lq.size()) >= _cfg.lqSize)
+            ++_stallLqFull;
+        else if (int(_sq.size()) >= _cfg.sqSize ||
+                 int(_sb.size()) >= _cfg.sbSize)
+            ++_stallSqFull;
+        else
+            ++_stallOther;
+    }
+}
+
+// ---------------------------------------------------------------
+// Fetch / dispatch
+// ---------------------------------------------------------------
+
+void
+Core::fetchAndDispatch()
+{
+    if (_halted || _fetchBlocked || now() < _fetchStallUntil)
+        return;
+    for (int i = 0; i < _cfg.fetchWidth; ++i) {
+        Instr in;
+        if (_pc >= 0 && std::size_t(_pc) < _prog->size())
+            in = (*_prog)[std::size_t(_pc)];
+        else
+            in = Instr{Opcode::Halt, 0, 0, 0, 0, 0};
+
+        // structural hazards
+        if (int(_rob.size()) >= _cfg.robSize)
+            return;
+        const bool needs_iq =
+            in.op != Opcode::Nop && in.op != Opcode::Halt &&
+            in.op != Opcode::Jmp && in.op != Opcode::Fence;
+        if (needs_iq && int(_iq.size()) >= _cfg.iqSize)
+            return;
+        if ((isLoad(in.op) || isAtomic(in.op)) &&
+            int(_lq.size()) >= _cfg.lqSize)
+            return;
+        if ((isStore(in.op) || isAtomic(in.op)) &&
+            int(_sq.size()) >= _cfg.sqSize)
+            return;
+
+        const InstSeqNum seq = _nextSeq++;
+        RobEntry e{};
+        e.seq = seq;
+        e.pc = _pc;
+        e.in = in;
+        captureSources(e);
+        if (writesReg(in.op)) {
+            e.prevWriter = _regMap[in.dst];
+            _regMap[in.dst] = seq;
+        }
+
+        if (isLoad(in.op) || isAtomic(in.op)) {
+            LqEntry lq{};
+            lq.pc = _pc;
+            lq.isAtomic = isAtomic(in.op);
+            _lq.emplace(seq, lq);
+            if (_frontier == invalidSeqNum)
+                _frontier = seq;
+        }
+        if (isStore(in.op) || isAtomic(in.op))
+            _sq.emplace(seq, SqEntry{invalidAddr, false, 0, false,
+                                     isAtomic(in.op)});
+
+        // next fetch pc
+        int next_pc = _pc + 1;
+        if (in.op == Opcode::Halt) {
+            e.executed = true;
+            _fetchBlocked = true;
+        } else if (in.op == Opcode::Jmp) {
+            e.executed = true;
+            e.predictedTaken = true;
+            next_pc = in.target;
+        } else if (isConditionalBranch(in.op)) {
+            ++_branches;
+            e.predictedTaken = _bp.predict(_pc);
+            if (e.predictedTaken)
+                next_pc = in.target;
+        } else if (in.op == Opcode::Nop) {
+            e.executed = true;
+        } else if (in.op == Opcode::Fence) {
+            // Executes at the ROB head once the SB drains
+            // (driveFence); blocks younger loads from issuing.
+            _fences.insert(seq);
+        }
+
+        if (needs_iq) {
+            e.inIq = true;
+            _iq.push_back(seq);
+        }
+        _rob.emplace(seq, std::move(e));
+        _pc = next_pc;
+        if (_fetchBlocked)
+            return;
+    }
+}
+
+void
+Core::captureSources(RobEntry &e)
+{
+    const int n = numSources(e.in.op);
+    const Reg srcs[2] = {e.in.src1, e.in.src2};
+    for (int i = 0; i < n; ++i) {
+        const Reg r = srcs[i];
+        e.srcReady[i] = false;
+        const InstSeqNum prod = _regMap[r];
+        if (prod == invalidSeqNum) {
+            e.srcVal[i] = _archRegs[r];
+            e.srcReady[i] = true;
+            continue;
+        }
+        RobEntry *p = robFind(prod);
+        if (!p) {
+            // Producer already committed; the guarded architectural
+            // write left its value in the register file.
+            e.srcVal[i] = _archRegs[r];
+            e.srcReady[i] = true;
+        } else if (p->executed) {
+            e.srcVal[i] = p->result;
+            e.srcReady[i] = true;
+        } else {
+            p->consumers.emplace_back(e.seq, i);
+        }
+    }
+}
+
+void
+Core::wakeConsumers(RobEntry &e)
+{
+    for (const auto &[cseq, op] : e.consumers) {
+        RobEntry *c = robFind(cseq);
+        if (c && !c->srcReady[op]) {
+            c->srcVal[std::size_t(op)] = e.result;
+            c->srcReady[std::size_t(op)] = true;
+        }
+    }
+    e.consumers.clear();
+}
+
+// ---------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------
+
+bool
+Core::ready(const RobEntry &e) const
+{
+    const Opcode op = e.in.op;
+    if (isMem(op))
+        return e.srcReady[0]; // address generation needs the base
+    const int n = numSources(op);
+    for (int i = 0; i < n; ++i)
+        if (!e.srcReady[i])
+            return false;
+    return true;
+}
+
+void
+Core::issueFromIq()
+{
+    int budget = _cfg.fetchWidth;
+    bool stalled = false;
+    std::vector<InstSeqNum> keep;
+    keep.reserve(_iq.size());
+    for (InstSeqNum seq : _iq) {
+        RobEntry *e = robFind(seq);
+        if (!e)
+            continue; // squashed
+        if (!stalled && budget > 0 && ready(*e)) {
+            --budget;
+            e->inIq = false;
+            e->issued = true;
+            eventQueue().scheduleIn(execLatency(e->in.op),
+                                    [this, seq]() { execute(seq); });
+        } else {
+            // Stall-on-use cores issue strictly in order: the first
+            // not-ready instruction blocks everything younger.
+            // (Loads that already issued keep performing out of
+            // order — exactly the EV5/ECL reordering window.)
+            if (_cfg.inOrderIssue)
+                stalled = true;
+            keep.push_back(seq);
+        }
+    }
+    _iq = std::move(keep);
+}
+
+void
+Core::execute(InstSeqNum seq)
+{
+    RobEntry *e = robFind(seq);
+    if (!e || e->executed)
+        return; // squashed (or atomic already performed at head)
+    const Opcode op = e->in.op;
+
+    if (isMem(op)) {
+        // Address generation.
+        e->addr = wordOf(e->srcVal[0] + std::uint64_t(e->in.imm));
+        e->addrReady = true;
+        if (isLoad(op) || isAtomic(op)) {
+            auto it = _lq.find(seq);
+            assert(it != _lq.end());
+            it->second.addr = e->addr;
+            it->second.pc = e->pc;
+        }
+        if (isStore(op) || isAtomic(op)) {
+            auto it = _sq.find(seq);
+            assert(it != _sq.end());
+            it->second.addr = e->addr;
+            it->second.addrReady = true;
+            if (op == Opcode::St)
+                e->executed = true;
+            // Memory-dependence violation: a younger load already
+            // performed on this word without seeing this store.
+            const Addr w = e->addr;
+            for (auto lit = _lq.upper_bound(seq); lit != _lq.end();
+                 ++lit) {
+                if (lit->second.performed &&
+                    lit->second.addr == w) {
+                    squashFrom(lit->first, lit->second.pc,
+                               _squashDspec);
+                    break;
+                }
+            }
+        }
+        return;
+    }
+
+    if (isConditionalBranch(op)) {
+        const bool taken =
+            branchTaken(e->in, e->srcVal[0], e->srcVal[1]);
+        _bp.update(e->pc, taken);
+        e->executed = true;
+        if (taken != e->predictedTaken) {
+            ++_branchMispredicts;
+            const int target = taken ? e->in.target : e->pc + 1;
+            squashFrom(seq + 1, target, _squashBranch);
+        }
+        return;
+    }
+
+    // Plain ALU.
+    e->result = aluResult(e->in, e->srcVal[0], e->srcVal[1]);
+    e->executed = true;
+    wakeConsumers(*e);
+}
+
+// ---------------------------------------------------------------
+// Load path
+// ---------------------------------------------------------------
+
+void
+Core::memIssue()
+{
+    int ports = _cfg.cachePorts;
+    for (auto &[seq, lq] : _lq) {
+        if (ports <= 0)
+            break;
+        if (lq.isAtomic || lq.performed || lq.issued ||
+            lq.mustRetry || lq.addr == invalidAddr)
+            continue;
+
+        // A pending fence orders every younger load after it.
+        if (!_fences.empty() && *_fences.begin() < seq)
+            continue;
+
+        // Store-to-load forwarding / memory-dependence stall: find
+        // the youngest older store to the same word.
+        bool stalled = false;
+        bool forwarded = false;
+        for (auto sit = std::make_reverse_iterator(
+                 _sq.lower_bound(seq));
+             sit != _sq.rend(); ++sit) {
+            const SqEntry &sq = sit->second;
+            if (!sq.addrReady || sq.addr != lq.addr)
+                continue;
+            if (sq.isAtomic) {
+                // The atomic has not performed (it would have left
+                // the SQ); its value is unknown: stall.
+                stalled = true;
+                break;
+            }
+            RobEntry *prod = robFind(sit->first);
+            assert(prod);
+            if (prod->srcReady[1]) {
+                bindLoad(seq, lq, prod->srcVal[1], 0, true);
+                ++_forwardedLoads;
+                forwarded = true;
+            } else {
+                stalled = true; // match without data yet
+            }
+            break;
+        }
+        if (forwarded) {
+            --ports;
+            continue;
+        }
+        if (stalled)
+            continue;
+
+        // Committed stores awaiting the cache: forward from the SB.
+        const SbEntry *sb_hit = nullptr;
+        for (auto it = _sb.rbegin(); it != _sb.rend(); ++it) {
+            if (it->addr == lq.addr) {
+                sb_hit = &*it;
+                break;
+            }
+        }
+        if (sb_hit) {
+            bindLoad(seq, lq, sb_hit->data, 0, true);
+            ++_forwardedLoads;
+            --ports;
+            continue;
+        }
+
+        // WritersBlock optimisation (Section 3.4): do not issue new
+        // unordered loads for a line whose lockdown has already been
+        // seen — they would only receive unusable tear-off copies.
+        if (!orderedAtOrBefore(seq)) {
+            auto lk = _locks.find(lineOf(lq.addr));
+            if (lk != _locks.end() && lk->second.owed)
+                continue;
+        }
+
+        if (_l1->issueLoad(seq, lq.addr)) {
+            lq.issued = true;
+            --ports;
+        }
+    }
+}
+
+void
+Core::bindLoad(InstSeqNum seq, LqEntry &lq, std::uint64_t value,
+               Version ver, bool forwarded)
+{
+    if (lq.performed)
+        return;
+    lq.performed = true;
+    lq.value = value;
+    lq.version = ver;
+    lq.forwarded = forwarded;
+    ++_loadsExecuted;
+    WB_TRACE(LogFlag::Core, now(), name().c_str(),
+             "bind seq=%llu addr=%llx val=%llu ver=%llu fwd=%d",
+             static_cast<unsigned long long>(seq),
+             static_cast<unsigned long long>(lq.addr),
+             static_cast<unsigned long long>(value),
+             static_cast<unsigned long long>(ver), int(forwarded));
+
+    RobEntry *e = robFind(seq);
+    assert(e);
+    e->result = value;
+    e->executed = true;
+    wakeConsumers(*e);
+
+    // M-speculative? (an older load is still non-performed)
+    bool mspec = false;
+    for (auto it = _lq.begin(); it != _lq.end() && it->first < seq;
+         ++it) {
+        if (!it->second.performed) {
+            mspec = true;
+            break;
+        }
+    }
+    Addr lockdown_line = invalidAddr;
+    if (mspec && !forwarded && _cfg.lockdown) {
+        lockdown_line = lineOf(lq.addr);
+        lq.lockdown = true;
+        ++_lockdownsSet;
+        LockInfo &li = _locks[lockdown_line];
+        if (li.count == 0)
+            li.firstSet = now();
+        ++li.count;
+        WB_TRACE(LogFlag::Lockdown, now(), name().c_str(),
+                 "lockdown set seq %llu line %llx",
+                 static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(lockdown_line));
+    }
+    _pendingChecks.emplace(
+        seq, PendingCheck{lq.addr, ver, forwarded, lockdown_line});
+    recomputeFrontier();
+}
+
+void
+Core::loadResponse(InstSeqNum seq, Addr addr, std::uint64_t value,
+                   Version ver, LoadSource src)
+{
+    auto it = _lq.find(seq);
+    if (it == _lq.end() || it->second.performed)
+        return; // squashed or duplicate
+    if (it->second.addr != wordOf(addr))
+        return; // stale response from a squashed incarnation
+    if (src == LoadSource::TearOff)
+        ++_tearoffBinds;
+    bindLoad(seq, it->second, value, ver, false);
+}
+
+void
+Core::loadMustRetry(InstSeqNum seq, Addr addr)
+{
+    auto it = _lq.find(seq);
+    if (it == _lq.end() || it->second.performed)
+        return;
+    if (it->second.addr != wordOf(addr))
+        return;
+    it->second.mustRetry = true;
+    it->second.issued = false;
+}
+
+void
+Core::recomputeFrontier()
+{
+    InstSeqNum f = invalidSeqNum;
+    for (const auto &[seq, lq] : _lq) {
+        if (!lq.performed) {
+            f = seq;
+            break;
+        }
+    }
+    _frontier = f;
+
+    // Completion walk: loads older than the frontier are now ordered
+    // and performed, i.e. completed. Process them in program order:
+    // feed the checker, release lockdowns (sending withheld Acks),
+    // and retire LDT entries — the collapsed equivalent of the
+    // paper's guardian-index hand-off (Figure 7).
+    while (!_pendingChecks.empty()) {
+        auto it = _pendingChecks.begin();
+        if (it->first >= f)
+            break;
+        const PendingCheck &pc = it->second;
+        if (_checker)
+            _checker->loadCompleted(_id, pc.addr, pc.version,
+                                    pc.forwarded);
+        if (pc.lockdownLine != invalidAddr)
+            releaseLockdown(pc.lockdownLine);
+        auto lqit = _lq.find(it->first);
+        if (lqit != _lq.end())
+            lqit->second.lockdown = false;
+        _ldt.erase(it->first);
+        _pendingChecks.erase(it);
+    }
+}
+
+void
+Core::releaseLockdown(Addr line)
+{
+    auto it = _locks.find(line);
+    assert(it != _locks.end() && it->second.count > 0);
+    if (--it->second.count == 0) {
+        const bool owed = it->second.owed;
+        _lockdownCycles.sample(now() - it->second.firstSet);
+        _locks.erase(it);
+        if (owed) {
+            WB_TRACE(LogFlag::Lockdown, now(), name().c_str(),
+                     "lockdown lifted line %llx, acking",
+                     static_cast<unsigned long long>(line));
+            _l1->lockdownLifted(line);
+        }
+    }
+}
+
+void
+Core::driveSoS()
+{
+    if (_frontier == invalidSeqNum)
+        return;
+    auto it = _lq.find(_frontier);
+    if (it == _lq.end())
+        return;
+    LqEntry &lq = it->second;
+    if (lq.isAtomic || lq.performed || lq.addr == invalidAddr)
+        return;
+    if (lq.mustRetry) {
+        // Tear-off retry: reissue now that the load is the SoS load.
+        if (_l1->issueLoad(_frontier, lq.addr)) {
+            lq.mustRetry = false;
+            lq.issued = true;
+        }
+        return;
+    }
+    if (lq.issued)
+        _l1->loadBecameSoS(_frontier, lq.addr);
+}
+
+// ---------------------------------------------------------------
+// Stores and atomics
+// ---------------------------------------------------------------
+
+void
+Core::drainStoreBuffer()
+{
+    if (_sb.empty())
+        return;
+    SbEntry &head = _sb.front();
+    const Addr line = lineOf(head.addr);
+    if (_l1->hasWritePermission(line)) {
+        assert(head.seq > _lastDrainedStore &&
+               "store buffer drained out of program order");
+        _lastDrainedStore = head.seq;
+        _l1->performStore(head.addr, head.data);
+        _sb.pop_front();
+    } else {
+        _l1->requestWritePermission(line);
+    }
+    // Prefetch write permission for the next few buffered stores.
+    int quota = 3;
+    for (const SbEntry &e : _sb) {
+        if (quota-- <= 0)
+            break;
+        const Addr l = lineOf(e.addr);
+        if (!_l1->hasWritePermission(l))
+            _l1->requestWritePermission(l);
+    }
+}
+
+void
+Core::driveFence()
+{
+    if (_fences.empty() || _rob.empty())
+        return;
+    auto &[seq, e] = *_rob.begin();
+    if (e.in.op != Opcode::Fence || e.executed)
+        return;
+    // mfence semantics: all earlier stores globally visible before
+    // anything later proceeds.
+    if (!_sb.empty())
+        return;
+    e.executed = true;
+    _fences.erase(seq);
+}
+
+void
+Core::driveAtomic()
+{
+    if (_rob.empty())
+        return;
+    auto &[seq, e] = *_rob.begin();
+    if (!isAtomic(e.in.op) || e.executed)
+        return;
+    if (!e.addrReady || !e.srcReady[1] || !_sb.empty())
+        return;
+    const Addr line = lineOf(e.addr);
+    if (!_l1->hasWritePermission(line)) {
+        _l1->requestWritePermission(line);
+        return;
+    }
+    const Opcode op = e.in.op;
+    const std::uint64_t operand = e.srcVal[1];
+    auto [old, old_ver] = _l1->performAtomic(
+        e.addr,
+        [op, operand](std::uint64_t o) {
+            return amoResult(op, o, operand);
+        });
+    e.result = old;
+    e.executed = true;
+    wakeConsumers(e);
+    auto it = _lq.find(seq);
+    assert(it != _lq.end());
+    bindLoad(seq, it->second, old, old_ver, false);
+}
+
+// ---------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------
+
+void
+Core::commit()
+{
+    int budget = _cfg.commitWidth;
+    bool saw_unperformed_load = false;
+    bool saw_unperformed_atomic = false;
+    bool saw_uncommitted_store = false;
+
+    for (auto it = _rob.begin(); it != _rob.end() && budget > 0;) {
+        RobEntry &e = it->second;
+        const Opcode op = e.in.op;
+        const bool at_head = it == _rob.begin();
+
+        if (_cfg.commitMode == CommitMode::InOrder && !at_head)
+            return;
+
+        // Bell-Lipasti condition 3: unresolved control flow.
+        if (isConditionalBranch(op) && !e.executed)
+            return;
+        // Condition 4: unresolved store (or atomic) address.
+        if ((isStore(op) || isAtomic(op)) && !e.addrReady)
+            return;
+
+        bool can = false;
+        bool export_ldt = false;
+
+        if (op == Opcode::Halt) {
+            if (at_head) {
+                _halted = true;
+                ++_commits;
+                ++_committed;
+                _rob.erase(it);
+            }
+            return;
+        } else if (isLoad(op)) {
+            const bool completed =
+                e.executed && orderedAtOrBefore(it->first);
+            if (completed) {
+                // Performed + ordered: condition 6 holds.
+                can = true;
+            } else if (_cfg.commitMode == CommitMode::OooSafe) {
+                // Squash-and-re-execute core. The *oldest*
+                // outstanding load (the SoS load) performs ordered
+                // and can never be invalidation-squashed, so
+                // completed younger non-memory instructions may
+                // retire past it. Any further outstanding load
+                // could later perform M-speculatively and be
+                // squashed — rolling back past committed state —
+                // so the scan stops there (condition 6). This is
+                // exactly the serialisation WritersBlock lifts.
+                if (e.executed || saw_unperformed_load)
+                    return; // M-speculative or 2nd outstanding
+                saw_unperformed_load = true;
+            } else if (!e.executed) {
+                saw_unperformed_load = true;
+            } else {
+                // Performed but M-speculative, lockdown-capable (or
+                // deliberately unsafe) core.
+                auto lqit = _lq.find(it->first);
+                const bool has_lockdown =
+                    lqit != _lq.end() && lqit->second.lockdown;
+                switch (_cfg.commitMode) {
+                  case CommitMode::OooWB:
+                    if (!has_lockdown) {
+                        can = true; // forwarded load: local value
+                    } else if (int(_ldt.size()) < _cfg.ldtSize) {
+                        can = true;
+                        export_ldt = true;
+                    }
+                    break;
+                  case CommitMode::OooUnsafe:
+                    can = true;
+                    break;
+                  default:
+                    break; // InOrder: wait (head only anyway)
+                }
+            }
+        } else if (isFence(op)) {
+            if (!e.executed) {
+                // Nothing may retire past a pending full fence.
+                if (_cfg.commitMode != CommitMode::InOrder)
+                    return;
+                saw_unperformed_load = true;
+                saw_unperformed_atomic = true;
+            } else {
+                can = true;
+            }
+        } else if (isAtomic(op)) {
+            if (!e.executed) {
+                // Loads younger than a non-performed atomic remain
+                // squashable even in a lockdown core (Section 3.7):
+                // stop the scan so no committed instruction can fall
+                // inside a future invalidation squash.
+                if (_cfg.commitMode != CommitMode::InOrder)
+                    return;
+                saw_unperformed_atomic = true;
+                saw_unperformed_load = true;
+            } else {
+                can = true;
+            }
+        } else if (isStore(op)) {
+            // Stores commit in program order (store->store through
+            // the FIFO SB) and never relax load->store
+            // (Section 3.1.2).
+            can = e.addrReady && e.srcReady[1] &&
+                  !saw_unperformed_load &&
+                  !saw_unperformed_atomic &&
+                  !saw_uncommitted_store &&
+                  int(_sb.size()) < _cfg.sbSize;
+            if (!can)
+                saw_uncommitted_store = true;
+        } else {
+            can = e.executed;
+        }
+
+        if (!can) {
+            if (_cfg.commitMode == CommitMode::InOrder)
+                return;
+            ++it;
+            continue;
+        }
+
+        if (!at_head)
+            ++_oooCommits;
+        if (export_ldt) {
+            _ldt.emplace(it->first, LdtEntry{lineOf(e.addr), false});
+            ++_ldtExports;
+        }
+        retireEntry(e);
+        --budget;
+        it = _rob.erase(it);
+    }
+}
+
+void
+Core::retireEntry(RobEntry &e)
+{
+    const Opcode op = e.in.op;
+    if (writesReg(op) && e.seq > _archWriter[e.in.dst]) {
+        _archRegs[e.in.dst] = e.result;
+        _archWriter[e.in.dst] = e.seq;
+    }
+    if (isLoad(op) || isAtomic(op))
+        _lq.erase(e.seq);
+    if (isStore(op)) {
+        _sb.push_back(SbEntry{e.seq, e.addr, e.srcVal[1], false});
+        ++_storesCommitted;
+    }
+    if (isAtomic(op)) {
+        _sq.erase(e.seq);
+        ++_atomicsCommitted;
+    }
+    if (isStore(op))
+        _sq.erase(e.seq);
+    ++_commits;
+    ++_committed;
+}
+
+// ---------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------
+
+void
+Core::squashFrom(InstSeqNum first_bad, int new_pc, Counter &reason)
+{
+    ++reason;
+    WB_TRACE(LogFlag::Core, now(), name().c_str(),
+             "squash from=%llu newpc=%d",
+             static_cast<unsigned long long>(first_bad), new_pc);
+    std::vector<InstSeqNum> gone;
+    for (auto it = _rob.lower_bound(first_bad); it != _rob.end();
+         ++it)
+        gone.push_back(it->first);
+
+    for (auto rit = gone.rbegin(); rit != gone.rend(); ++rit) {
+        const InstSeqNum seq = *rit;
+        RobEntry &e = _rob.at(seq);
+        if (writesReg(e.in.op))
+            _regMap[e.in.dst] = e.prevWriter;
+        auto lqit = _lq.find(seq);
+        if (lqit != _lq.end()) {
+            if (lqit->second.lockdown)
+                releaseLockdown(lineOf(lqit->second.addr));
+            _lq.erase(lqit);
+        }
+        _pendingChecks.erase(seq);
+        _sq.erase(seq);
+        _fences.erase(seq);
+        _rob.erase(seq);
+        ++_squashedInstrs;
+    }
+    _iq.erase(std::remove_if(_iq.begin(), _iq.end(),
+                             [&](InstSeqNum s) {
+                                 return s >= first_bad;
+                             }),
+              _iq.end());
+    _pc = new_pc;
+    _fetchBlocked = false;
+    _fetchStallUntil = now() + _cfg.mispredictPenalty;
+    recomputeFrontier();
+}
+
+// ---------------------------------------------------------------
+// Coherence interface
+// ---------------------------------------------------------------
+
+void
+Core::dumpState(std::ostream &os) const
+{
+    os << name() << ": pc=" << _pc << " halted=" << _halted
+       << " fetchBlocked=" << _fetchBlocked
+       << " commits=" << _commits << " rob=" << _rob.size()
+       << " iq=" << _iq.size() << " lq=" << _lq.size()
+       << " sq=" << _sq.size() << " sb=" << _sb.size()
+       << " ldt=" << _ldt.size() << " frontier=" << _frontier
+       << "\n";
+    int n = 0;
+    for (const auto &[seq, e] : _rob) {
+        if (++n > 6)
+            break;
+        os << "  rob seq=" << seq << " pc=" << e.pc << " "
+           << opcodeName(e.in.op) << " iss=" << e.issued
+           << " exec=" << e.executed << " addrRdy=" << e.addrReady
+           << " src=" << e.srcReady[0] << e.srcReady[1] << "\n";
+    }
+    for (const auto &[seq, lq] : _lq) {
+        os << "  lq seq=" << seq << " addr=" << std::hex << lq.addr
+           << std::dec << " iss=" << lq.issued
+           << " perf=" << lq.performed << " retry=" << lq.mustRetry
+           << " lkdn=" << lq.lockdown << " seen=" << lq.seen
+           << " atomic=" << lq.isAtomic << "\n";
+    }
+    if (!_sb.empty())
+        os << "  sb head addr=" << std::hex << _sb.front().addr
+           << std::dec << "\n";
+    for (const auto &[line, li] : _locks)
+        os << "  lock line=" << std::hex << line << std::dec
+           << " count=" << li.count << " owed=" << li.owed << "\n";
+}
+
+InvResponse
+Core::coherenceInvalidation(Addr line)
+{
+    WB_TRACE(LogFlag::Core, now(), name().c_str(),
+             "coherence inv line=%llx frontier=%llu",
+             static_cast<unsigned long long>(line),
+             static_cast<unsigned long long>(_frontier));
+    if (!_cfg.lockdown) {
+        if (_cfg.commitMode == CommitMode::OooUnsafe) {
+            // Negative control: neither lockdowns nor squashes —
+            // reordered loads keep their stale values and the
+            // reordering becomes architecturally visible. (A squash
+            // here could roll back past already-committed younger
+            // instructions, which no real core can do.)
+            return InvResponse::Ack;
+        }
+        // Baseline squash-and-re-execute (Figure 2.A): squash the
+        // oldest matching M-speculative load and everything younger.
+        for (auto &[seq, lq] : _lq) {
+            if (lq.performed && !lq.forwarded &&
+                lq.addr != invalidAddr &&
+                lineOf(lq.addr) == line && seq > _frontier) {
+                squashFrom(seq, lq.pc, _squashInv);
+                break;
+            }
+        }
+        return InvResponse::Ack;
+    }
+
+    // Lockdown core. Loads younger than a non-performed atomic may
+    // not lock down (Section 3.7): squash them instead.
+    const InstSeqNum atomic_seq = oldestPendingAtomic();
+    if (atomic_seq != invalidSeqNum) {
+        for (auto &[seq, lq] : _lq) {
+            if (seq > atomic_seq && lq.lockdown &&
+                lineOf(lq.addr) == line) {
+                squashFrom(seq, lq.pc, _squashInv);
+                break;
+            }
+        }
+    }
+
+    auto it = _locks.find(line);
+    if (it != _locks.end() && it->second.count > 0) {
+        it->second.owed = true;
+        ++_lockdownsSeen;
+        // Set the S bits (stats/introspection; the owed flag is the
+        // authoritative state).
+        for (auto &[seq, lq] : _lq)
+            if (lq.lockdown && lineOf(lq.addr) == line)
+                lq.seen = true;
+        for (auto &[seq, ldt] : _ldt)
+            if (ldt.line == line)
+                ldt.seen = true;
+        return InvResponse::Nack;
+    }
+    return InvResponse::Ack;
+}
+
+} // namespace wb

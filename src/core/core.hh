@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Out-of-order, TSO, x86-like core model.
+ *
+ * Pipeline: fetch (branch-predicted, wrong-path execution is real) ->
+ * dispatch into ROB/IQ/LQ/SQ -> dataflow issue -> execute ->
+ * commit (in-order, safe OoO, or OoO+WritersBlock) -> store buffer.
+ *
+ * The consistency machinery follows the paper:
+ *  - a load performing while an older load is non-performed becomes
+ *    M-speculative and (in a lockdown core) enters lockdown;
+ *  - invalidations query the LQ/LDT: squash-and-re-execute cores
+ *    squash, lockdown cores set the "seen" bit and Nack;
+ *  - the SoS load (oldest non-performed) is tracked continuously;
+ *    when it performs, the ordered frontier advances, completing
+ *    loads in program order, releasing lockdowns (and sending the
+ *    withheld invalidation acks), and feeding the TSO checker;
+ *  - OoO+WB commit exports lockdowns of committed loads to the LDT
+ *    (Section 4.2) — release duty is keyed to the frontier, which is
+ *    exactly the effect of the paper's guardian-bitmap passing;
+ *  - loads younger than a non-performed atomic never lock down: an
+ *    invalidation squashes them instead (Section 3.7).
+ */
+
+#ifndef WB_CORE_CORE_HH
+#define WB_CORE_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "checker/tso_checker.hh"
+#include "coherence/core_mem_if.hh"
+#include "coherence/l1_controller.hh"
+#include "core/config.hh"
+#include "isa/program.hh"
+#include "sim/sim_object.hh"
+
+namespace wb
+{
+
+/** Simple 2-bit bimodal branch predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(std::size_t entries = 1024)
+        : _table(entries, 1)
+    {}
+
+    bool
+    predict(int pc) const
+    {
+        return _table[index(pc)] >= 2;
+    }
+
+    void
+    update(int pc, bool taken)
+    {
+        std::uint8_t &c = _table[index(pc)];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+  private:
+    std::size_t index(int pc) const
+    {
+        return std::size_t(pc) % _table.size();
+    }
+    std::vector<std::uint8_t> _table;
+};
+
+/** The out-of-order core. */
+class Core : public SimObject, public CoreMemIf
+{
+  public:
+    Core(std::string name, EventQueue *eq, StatRegistry *stats,
+         CoreId id, const CoreConfig &cfg, L1Controller *l1,
+         const Program *program);
+
+    void setChecker(TsoChecker *checker) { _checker = checker; }
+
+    /** One pipeline cycle. */
+    void tick() override;
+
+    /** @return true when Halt has committed and the SB drained. */
+    bool done() const;
+
+    std::uint64_t instructionsCommitted() const { return _commits; }
+
+    // ---- CoreMemIf ----
+    InvResponse coherenceInvalidation(Addr line) override;
+    void loadResponse(InstSeqNum seq, Addr addr,
+                      std::uint64_t value, Version ver,
+                      LoadSource src) override;
+    void loadMustRetry(InstSeqNum seq, Addr addr) override;
+    bool coherenceLockdownQuery(Addr line) const override;
+    bool isLoadOrdered(InstSeqNum seq) const override;
+
+    // ---- introspection (tests) ----
+    /** Dump pipeline state (watchdog diagnostics). */
+    void dumpState(std::ostream &os) const;
+
+    CoreId id() const { return _id; }
+    std::size_t robOccupancy() const { return _rob.size(); }
+    std::uint64_t regValue(Reg r) const { return _archRegs[r]; }
+    bool halted() const { return _halted; }
+
+  private:
+    struct RobEntry
+    {
+        InstSeqNum seq;
+        int pc;
+        Instr in;
+        // dataflow
+        std::uint64_t srcVal[2] = {0, 0};
+        bool srcReady[2] = {true, true};
+        InstSeqNum prevWriter = invalidSeqNum; //!< for map rewind
+        std::vector<std::pair<InstSeqNum, int>> consumers;
+        std::uint64_t result = 0;
+        bool inIq = false;
+        bool issued = false;
+        bool executed = false;  //!< result/addr known (loads: bound)
+        bool committed = false;
+        // branches
+        bool predictedTaken = false;
+        // memory
+        Addr addr = invalidAddr;
+        bool addrReady = false;
+    };
+
+    struct LqEntry
+    {
+        int pc = 0;
+        Addr addr = invalidAddr;
+        bool isAtomic = false;
+        bool issued = false;     //!< request handed to the L1
+        bool performed = false;
+        bool forwarded = false;
+        bool mustRetry = false;  //!< unusable tear-off; reissue as SoS
+        bool lockdown = false;   //!< M-speculative
+        bool seen = false;       //!< S bit
+        std::uint64_t value = 0;
+        Version version = 0;
+    };
+
+    struct SqEntry
+    {
+        Addr addr = invalidAddr;
+        bool addrReady = false;
+        std::uint64_t data = 0;
+        bool dataReady = false;
+        bool isAtomic = false;
+    };
+
+    struct SbEntry
+    {
+        InstSeqNum seq;
+        Addr addr;
+        std::uint64_t data;
+        bool requested = false;
+    };
+
+    struct LdtEntry
+    {
+        Addr line;
+        bool seen = false;
+    };
+
+    struct PendingCheck
+    {
+        Addr addr;
+        Version version;
+        bool forwarded;
+        Addr lockdownLine; //!< invalidAddr if none
+    };
+
+    struct LockInfo
+    {
+        int count = 0;
+        bool owed = false;
+        Tick firstSet = 0; //!< for the duration histogram
+    };
+
+    // pipeline stages
+    void driveFence();
+    void fetchAndDispatch();
+    void issueFromIq();
+    void execute(InstSeqNum seq);
+    void memIssue();
+    void drainStoreBuffer();
+    void driveAtomic();
+    void commit();
+    void driveSoS();
+
+    // commit helpers
+    bool commitOne(RobEntry &e);
+    void retireEntry(RobEntry &e);
+
+    // squash machinery
+    void squashFrom(InstSeqNum first_bad, int new_pc,
+                    Counter &reason);
+
+    // dataflow helpers
+    void captureSources(RobEntry &e);
+    void wakeConsumers(RobEntry &e);
+    bool ready(const RobEntry &e) const;
+
+    // load/store helpers
+    void bindLoad(InstSeqNum seq, LqEntry &lq, std::uint64_t value,
+                  Version ver, bool forwarded);
+    void recomputeFrontier();
+    void releaseLockdown(Addr line);
+    InstSeqNum oldestPendingAtomic() const;
+    bool orderedAtOrBefore(InstSeqNum seq) const;
+
+    RobEntry *robFind(InstSeqNum seq);
+
+    CoreId _id;
+    CoreConfig _cfg;
+    L1Controller *_l1;
+    const Program *_prog;
+    TsoChecker *_checker = nullptr;
+
+    // architectural state
+    std::array<std::uint64_t, numRegs> _archRegs{};
+    std::array<InstSeqNum, numRegs> _archWriter{};
+    int _pc = 0;
+    bool _halted = false;
+    bool _fetchBlocked = false; //!< Halt fetched, not yet committed
+    Tick _fetchStallUntil = 0;
+
+    // structures
+    std::map<InstSeqNum, RobEntry> _rob;
+    std::vector<InstSeqNum> _iq; // waiting entries (seq)
+    std::map<InstSeqNum, LqEntry> _lq;
+    std::map<InstSeqNum, SqEntry> _sq;
+    std::deque<SbEntry> _sb;
+    std::map<InstSeqNum, LdtEntry> _ldt;
+    std::array<InstSeqNum, numRegs> _regMap{};
+    BranchPredictor _bp;
+
+    // consistency bookkeeping
+    std::unordered_map<Addr, LockInfo> _locks;
+    std::map<InstSeqNum, PendingCheck> _pendingChecks;
+    InstSeqNum _frontier = invalidSeqNum; //!< oldest non-performed ld
+    InstSeqNum _checkedUpTo = 0;
+
+    /** Pending (non-executed) fences, oldest first. */
+    std::set<InstSeqNum> _fences;
+
+    InstSeqNum _nextSeq = 1;
+    InstSeqNum _lastDrainedStore = 0; //!< TSO st->st order assert
+
+    std::uint64_t _commits = 0;
+    int _robLive = 0; //!< non-committed ROB entries
+
+    // stats
+    Counter &_cycles;
+    Counter &_committed;
+    Counter &_loadsExecuted;
+    Counter &_storesCommitted;
+    Counter &_atomicsCommitted;
+    Counter &_stallRobFull;
+    Counter &_stallLqFull;
+    Counter &_stallSqFull;
+    Counter &_stallOther;
+    Counter &_squashBranch;
+    Counter &_squashDspec;
+    Counter &_squashInv;
+    Counter &_squashedInstrs;
+    Counter &_forwardedLoads;
+    Counter &_lockdownsSet;
+    Counter &_lockdownsSeen;
+    Counter &_ldtExports;
+    Counter &_oooCommits;
+    Counter &_tearoffBinds;
+    Counter &_branchMispredicts;
+    Counter &_branches;
+    Histogram &_lockdownCycles; //!< set -> release (footnote 2)
+};
+
+} // namespace wb
+
+#endif // WB_CORE_CORE_HH

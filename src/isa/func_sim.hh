@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional reference simulator: executes a Workload under
+ * sequential consistency with a deterministic (seeded) thread
+ * interleaving. Used to validate workload programs and, for
+ * data-race-free programs, to compute expected final memory.
+ */
+
+#ifndef WB_ISA_FUNC_SIM_HH
+#define WB_ISA_FUNC_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/** Sequentially-consistent reference interpreter. */
+class FuncSim
+{
+  public:
+    explicit FuncSim(const Workload &wl, std::uint64_t seed = 1);
+
+    /**
+     * Run until every thread halts or @p max_steps instructions
+     * retire in total. @return true if all threads halted.
+     */
+    bool run(std::uint64_t max_steps = 100'000'000);
+
+    /** Execute one instruction of one (randomly chosen) live
+     *  thread. @return false if all threads have halted. */
+    bool step();
+
+    std::uint64_t readMem(Addr addr) const;
+    std::uint64_t readReg(int thread, Reg r) const;
+    std::uint64_t instructionsRetired() const { return _retired; }
+    bool halted(int thread) const;
+
+  private:
+    struct ThreadState
+    {
+        const Program *prog;
+        std::array<std::uint64_t, numRegs> regs{};
+        int pc = 0;
+        bool halted = false;
+    };
+
+    void execOne(ThreadState &t);
+
+    std::vector<ThreadState> _threads;
+    std::unordered_map<Addr, std::uint64_t> _mem;
+    Rng _rng;
+    std::uint64_t _retired = 0;
+};
+
+} // namespace wb
+
+#endif // WB_ISA_FUNC_SIM_HH

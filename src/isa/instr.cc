@@ -1,0 +1,35 @@
+#include "isa/instr.hh"
+
+namespace wb
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Li: return "li";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::AmoSwap: return "amoswap";
+      case Opcode::AmoAdd: return "amoadd";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Fence: return "fence";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+} // namespace wb

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The abstract ISA executed by the simulated cores.
+ *
+ * A deliberately small RISC-like register machine: 32 64-bit
+ * registers, naturally aligned 8-byte memory words, conditional
+ * branches, and atomic read-modify-writes (the building block for
+ * locks and barriers). The ISA is expressive enough for spin loops,
+ * pointer-chasing, and data-dependent branches — everything the
+ * workload generators need — while keeping the out-of-order core
+ * model focused on the paper's memory-consistency machinery.
+ */
+
+#ifndef WB_ISA_INSTR_HH
+#define WB_ISA_INSTR_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace wb
+{
+
+using Reg = std::uint8_t;
+constexpr int numRegs = 32;
+
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Li,      //!< dst = imm
+    Addi,    //!< dst = src1 + imm
+    Andi,    //!< dst = src1 & imm
+    Add,     //!< dst = src1 + src2
+    Sub,     //!< dst = src1 - src2
+    Mul,     //!< dst = src1 * src2 (3-cycle latency)
+    And,     //!< dst = src1 & src2
+    Or,      //!< dst = src1 | src2
+    Xor,     //!< dst = src1 ^ src2
+    Ld,      //!< dst = MEM[src1 + imm]
+    St,      //!< MEM[src1 + imm] = src2
+    AmoSwap, //!< dst = MEM[src1 + imm]; MEM[...] = src2 (atomic)
+    AmoAdd,  //!< dst = MEM[src1 + imm]; MEM[...] += src2 (atomic)
+    Beq,     //!< if (src1 == src2) goto target
+    Bne,     //!< if (src1 != src2) goto target
+    Blt,     //!< if ((s64)src1 < (s64)src2) goto target
+    Bge,     //!< if ((s64)src1 >= (s64)src2) goto target
+    Jmp,     //!< goto target
+    Fence,   //!< full memory fence (drains the store buffer and
+             //!< orders later loads after earlier stores)
+    Halt,    //!< thread done
+};
+
+/** One static instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    Reg dst = 0;
+    Reg src1 = 0;
+    Reg src2 = 0;
+    std::int64_t imm = 0;
+    std::int32_t target = 0; //!< branch/jump destination (pc index)
+};
+
+inline bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Ld;
+}
+
+inline bool
+isStore(Opcode op)
+{
+    return op == Opcode::St;
+}
+
+inline bool
+isAtomic(Opcode op)
+{
+    return op == Opcode::AmoSwap || op == Opcode::AmoAdd;
+}
+
+inline bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op) || isAtomic(op);
+}
+
+inline bool
+isFence(Opcode op)
+{
+    return op == Opcode::Fence;
+}
+
+inline bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+inline bool
+isConditionalBranch(Opcode op)
+{
+    return isBranch(op) && op != Opcode::Jmp;
+}
+
+/** True if the instruction writes @c dst. */
+inline bool
+writesReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::Li:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Ld:
+      case Opcode::AmoSwap:
+      case Opcode::AmoAdd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Number of register sources actually read. */
+inline int
+numSources(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Li:
+      case Opcode::Jmp:
+      case Opcode::Fence:
+      case Opcode::Halt:
+        return 0;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ld:
+        return 1;
+      default:
+        return 2;
+    }
+}
+
+/** Execution latency (cycles in a functional unit). */
+inline Tick
+execLatency(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+/** ALU semantics shared by the functional and timing models. */
+inline std::uint64_t
+aluResult(const Instr &in, std::uint64_t a, std::uint64_t b)
+{
+    switch (in.op) {
+      case Opcode::Li: return std::uint64_t(in.imm);
+      case Opcode::Addi: return a + std::uint64_t(in.imm);
+      case Opcode::Andi: return a & std::uint64_t(in.imm);
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      default: return 0;
+    }
+}
+
+/** Branch decision shared by the functional and timing models. */
+inline bool
+branchTaken(const Instr &in, std::uint64_t a, std::uint64_t b)
+{
+    switch (in.op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt:
+        return std::int64_t(a) < std::int64_t(b);
+      case Opcode::Bge:
+        return std::int64_t(a) >= std::int64_t(b);
+      case Opcode::Jmp: return true;
+      default: return false;
+    }
+}
+
+/** Atomic read-modify-write semantics. */
+inline std::uint64_t
+amoResult(Opcode op, std::uint64_t old, std::uint64_t operand)
+{
+    return op == Opcode::AmoSwap ? operand : old + operand;
+}
+
+const char *opcodeName(Opcode op);
+
+} // namespace wb
+
+#endif // WB_ISA_INSTR_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Programs (per-thread static code) and a tiny assembler-style
+ * builder with forward-label patching.
+ */
+
+#ifndef WB_ISA_PROGRAM_HH
+#define WB_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/** A thread's static code: instruction index == PC. */
+using Program = std::vector<Instr>;
+
+/** A multi-threaded workload: programs plus initial memory. */
+struct Workload
+{
+    std::string name;
+    std::vector<Program> threads;
+    std::vector<std::pair<Addr, std::uint64_t>> initMem;
+};
+
+/**
+ * Incremental program builder with labels.
+ *
+ * @code
+ *   ProgramBuilder b;
+ *   auto loop = b.newLabel();
+ *   b.li(1, 0);
+ *   b.bind(loop);
+ *   b.addi(1, 1, 1);
+ *   b.blt(1, 2, loop);
+ *   b.halt();
+ *   Program p = b.take();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    using Label = int;
+
+    Label
+    newLabel()
+    {
+        _labels.push_back(-1);
+        return Label(_labels.size() - 1);
+    }
+
+    /** Bind a label to the next emitted instruction. */
+    void
+    bind(Label l)
+    {
+        _labels[std::size_t(l)] = int(_code.size());
+    }
+
+    int here() const { return int(_code.size()); }
+
+    // ---- instruction emitters ----
+    void nop() { emit({Opcode::Nop, 0, 0, 0, 0, 0}); }
+    void li(Reg d, std::int64_t imm)
+    {
+        emit({Opcode::Li, d, 0, 0, imm, 0});
+    }
+    void addi(Reg d, Reg s, std::int64_t imm)
+    {
+        emit({Opcode::Addi, d, s, 0, imm, 0});
+    }
+    void andi(Reg d, Reg s, std::int64_t imm)
+    {
+        emit({Opcode::Andi, d, s, 0, imm, 0});
+    }
+    void add(Reg d, Reg a, Reg b)
+    {
+        emit({Opcode::Add, d, a, b, 0, 0});
+    }
+    void sub(Reg d, Reg a, Reg b)
+    {
+        emit({Opcode::Sub, d, a, b, 0, 0});
+    }
+    void mul(Reg d, Reg a, Reg b)
+    {
+        emit({Opcode::Mul, d, a, b, 0, 0});
+    }
+    void and_(Reg d, Reg a, Reg b)
+    {
+        emit({Opcode::And, d, a, b, 0, 0});
+    }
+    void or_(Reg d, Reg a, Reg b)
+    {
+        emit({Opcode::Or, d, a, b, 0, 0});
+    }
+    void xor_(Reg d, Reg a, Reg b)
+    {
+        emit({Opcode::Xor, d, a, b, 0, 0});
+    }
+    void ld(Reg d, Reg base, std::int64_t off = 0)
+    {
+        emit({Opcode::Ld, d, base, 0, off, 0});
+    }
+    void st(Reg base, Reg val, std::int64_t off = 0)
+    {
+        emit({Opcode::St, 0, base, val, off, 0});
+    }
+    void amoswap(Reg d, Reg base, Reg val, std::int64_t off = 0)
+    {
+        emit({Opcode::AmoSwap, d, base, val, off, 0});
+    }
+    void amoadd(Reg d, Reg base, Reg val, std::int64_t off = 0)
+    {
+        emit({Opcode::AmoAdd, d, base, val, off, 0});
+    }
+    void beq(Reg a, Reg b, Label l) { branch(Opcode::Beq, a, b, l); }
+    void bne(Reg a, Reg b, Label l) { branch(Opcode::Bne, a, b, l); }
+    void blt(Reg a, Reg b, Label l) { branch(Opcode::Blt, a, b, l); }
+    void bge(Reg a, Reg b, Label l) { branch(Opcode::Bge, a, b, l); }
+    void jmp(Label l) { branch(Opcode::Jmp, 0, 0, l); }
+    void fence() { emit({Opcode::Fence, 0, 0, 0, 0, 0}); }
+    void halt() { emit({Opcode::Halt, 0, 0, 0, 0, 0}); }
+
+    /** Finalise: patch labels and return the program. */
+    Program
+    take()
+    {
+        for (const auto &[idx, label] : _fixups) {
+            int t = _labels[std::size_t(label)];
+            if (t < 0)
+                t = int(_code.size()); // unbound: fall off the end
+            _code[std::size_t(idx)].target = t;
+        }
+        _fixups.clear();
+        return std::move(_code);
+    }
+
+  private:
+    void emit(Instr i) { _code.push_back(i); }
+
+    void
+    branch(Opcode op, Reg a, Reg b, Label l)
+    {
+        _fixups.emplace_back(int(_code.size()), l);
+        emit({op, 0, a, b, 0, 0});
+    }
+
+    Program _code;
+    std::vector<int> _labels;
+    std::vector<std::pair<int, Label>> _fixups;
+};
+
+} // namespace wb
+
+#endif // WB_ISA_PROGRAM_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Address arithmetic: cache-line and word geometry, bank interleaving.
+ *
+ * All memory instructions in the abstract ISA operate on naturally
+ * aligned 8-byte words, so a 64-byte cache line holds 8 words and no
+ * access straddles a line.
+ */
+
+#ifndef WB_MEM_ADDR_HH
+#define WB_MEM_ADDR_HH
+
+#include <cassert>
+
+#include "sim/types.hh"
+
+namespace wb
+{
+
+constexpr unsigned lineBytes = 64;
+constexpr unsigned lineShift = 6;
+constexpr unsigned wordBytes = 8;
+constexpr unsigned wordsPerLine = lineBytes / wordBytes;
+
+/** Cache-line base address of @p a. */
+constexpr Addr
+lineOf(Addr a)
+{
+    return a & ~Addr(lineBytes - 1);
+}
+
+/** Word-aligned address of @p a. */
+constexpr Addr
+wordOf(Addr a)
+{
+    return a & ~Addr(wordBytes - 1);
+}
+
+/** Index of the word within its line, in [0, wordsPerLine). */
+constexpr unsigned
+wordIndex(Addr a)
+{
+    return unsigned((a >> 3) & (wordsPerLine - 1));
+}
+
+/** Home LLC bank of a line, by low line-address interleaving. */
+constexpr BankId
+homeBank(Addr line_addr, int num_banks)
+{
+    return BankId((line_addr >> lineShift) % unsigned(num_banks));
+}
+
+static_assert(lineBytes == (1u << lineShift));
+static_assert(wordsPerLine == 8);
+
+} // namespace wb
+
+#endif // WB_MEM_ADDR_HH

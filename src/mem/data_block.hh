@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The functional contents of one cache line.
+ *
+ * Each 8-byte word carries its value and a global version number: the
+ * count of globally-visible stores that have been performed on that
+ * word. Versions travel with the data through caches and coherence
+ * messages, which lets the dynamic TSO checker know precisely which
+ * write a load bound to — including stale copies read under a delayed
+ * (locked-down) invalidation.
+ */
+
+#ifndef WB_MEM_DATA_BLOCK_HH
+#define WB_MEM_DATA_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/addr.hh"
+
+namespace wb
+{
+
+/** Monotonic per-word write-version number (0 = initial value). */
+using Version = std::uint64_t;
+
+/** Functional contents of one cache line: values plus versions. */
+struct DataBlock
+{
+    std::array<std::uint64_t, wordsPerLine> value{};
+    std::array<Version, wordsPerLine> version{};
+
+    std::uint64_t
+    readWord(Addr a) const
+    {
+        return value[wordIndex(a)];
+    }
+
+    Version
+    readVersion(Addr a) const
+    {
+        return version[wordIndex(a)];
+    }
+
+    /** Write @p v as version @p ver of the word at @p a. */
+    void
+    writeWord(Addr a, std::uint64_t v, Version ver)
+    {
+        value[wordIndex(a)] = v;
+        version[wordIndex(a)] = ver;
+    }
+
+    bool
+    operator==(const DataBlock &o) const
+    {
+        return value == o.value && version == o.version;
+    }
+};
+
+} // namespace wb
+
+#endif // WB_MEM_DATA_BLOCK_HH

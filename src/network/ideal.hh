@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Contention-free interconnect with fixed latency and optional
+ * per-message random jitter.
+ *
+ * With jitter enabled this network is *adversarially unordered*: two
+ * messages between the same pair of nodes can arrive in either order,
+ * which stresses exactly the races the WritersBlock protocol must
+ * survive. Used heavily by the stress and property tests.
+ */
+
+#ifndef WB_NETWORK_IDEAL_HH
+#define WB_NETWORK_IDEAL_HH
+
+#include "network/network.hh"
+#include "sim/rng.hh"
+
+namespace wb
+{
+
+struct IdealNetworkConfig
+{
+    int numNodes = 16;
+    Tick baseLatency = 10;
+    Tick jitter = 0;        //!< extra uniform delay in [0, jitter]
+    Tick localLatency = 1;
+    std::uint64_t seed = 12345;
+};
+
+/** Fixed-latency, optionally jittered, unordered network. */
+class IdealNetwork : public Network
+{
+  public:
+    IdealNetwork(std::string name, EventQueue *eq,
+                 StatRegistry *stats, const IdealNetworkConfig &cfg)
+        : Network(std::move(name), eq, stats, cfg.numNodes),
+          _cfg(cfg), _rng(cfg.seed)
+    {}
+
+    void
+    send(MsgPtr msg) override
+    {
+        Tick lat;
+        if (msg->src == msg->dst) {
+            lat = _cfg.localLatency;
+            accountTraffic(*msg, 0);
+        } else {
+            lat = _cfg.baseLatency;
+            if (_cfg.jitter > 0)
+                lat += _rng.below(_cfg.jitter + 1);
+            accountTraffic(*msg, 1);
+        }
+        deliverAt(now() + lat, std::move(msg));
+    }
+
+  private:
+    IdealNetworkConfig _cfg;
+    Rng _rng;
+};
+
+} // namespace wb
+
+#endif // WB_NETWORK_IDEAL_HH

@@ -1,0 +1,39 @@
+#include "network/network.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace wb
+{
+
+Network::Network(std::string name, EventQueue *eq,
+                 StatRegistry *stats, int num_nodes)
+    : SimObject(std::move(name), eq, stats), _numNodes(num_nodes),
+      _handlers(num_nodes),
+      _messages(statGroup().counter("messages")),
+      _flitHops(statGroup().counter("flitHops"))
+{}
+
+void
+Network::registerNode(int node, Handler handler)
+{
+    assert(node >= 0 && node < _numNodes);
+    _handlers[std::size_t(node)] = std::move(handler);
+}
+
+void
+Network::deliverAt(Tick when, MsgPtr msg)
+{
+    assert(msg->dst >= 0 && msg->dst < _numNodes);
+    assert(_handlers[std::size_t(msg->dst)] &&
+           "destination node has no handler");
+    Handler *handler = &_handlers[std::size_t(msg->dst)];
+    eventQueue().schedule(
+        when,
+        [handler, m = std::move(msg)]() mutable {
+            (*handler)(std::move(m));
+        },
+        EventPriority::Delivery);
+}
+
+} // namespace wb

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * On-chip interconnect interface.
+ *
+ * The interconnect carries coherence messages between nodes. Each
+ * node hosts a core with its private caches and one LLC bank slice.
+ * Three virtual networks (request / forward / response) prevent
+ * protocol deadlock; messages within and across virtual networks are
+ * *not* ordered end-to-end — the property the paper assumes
+ * ("general unordered interconnection network").
+ */
+
+#ifndef WB_NETWORK_NETWORK_HH
+#define WB_NETWORK_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/** Virtual networks, lowest priority number first. */
+enum class VNet : int
+{
+    Request = 0,  //!< GetS/GetX/Upgrade/GetU/Put*
+    Forward = 1,  //!< Inv/Fwd*/Recall (directory -> cores)
+    Response = 2, //!< Data/Ack/Nack/Unblock/UData/Hints
+};
+
+constexpr int numVNets = 3;
+
+/** Base class of every message carried by the interconnect. */
+struct NetMsg
+{
+    int src = -1;       //!< source node
+    int dst = -1;       //!< destination node
+    VNet vnet = VNet::Request;
+    unsigned flits = 1; //!< 1 for control, 5 for data (Table 6)
+
+    virtual ~NetMsg() = default;
+
+    /** Human-readable message kind, for traces. */
+    virtual const char *kind() const { return "msg"; }
+};
+
+/**
+ * Shared ownership keeps delivery events copyable (std::function);
+ * messages are logically owned by exactly one component at a time.
+ */
+using MsgPtr = std::shared_ptr<NetMsg>;
+
+/**
+ * Abstract interconnect. Concrete implementations compute delivery
+ * latency (possibly with contention) and invoke the destination
+ * node's handler at arrival time.
+ */
+class Network : public SimObject
+{
+  public:
+    using Handler = std::function<void(MsgPtr)>;
+
+    Network(std::string name, EventQueue *eq, StatRegistry *stats,
+            int num_nodes);
+
+    int numNodes() const { return _numNodes; }
+
+    /** Bind the delivery callback of node @p node. */
+    void registerNode(int node, Handler handler);
+
+    /** Inject a message; src/dst/vnet/flits must be set. */
+    virtual void send(MsgPtr msg) = 0;
+
+    /** Total flit-hops injected so far (traffic metric). */
+    std::uint64_t flitHops() const { return _flitHops.value(); }
+
+    /** Total messages injected so far. */
+    std::uint64_t messages() const { return _messages.value(); }
+
+  protected:
+    /** Schedule delivery of @p msg at absolute tick @p when. */
+    void deliverAt(Tick when, MsgPtr msg);
+
+    /** Account traffic for a message travelling @p hops hops. */
+    void
+    accountTraffic(const NetMsg &msg, unsigned hops)
+    {
+        ++_messages;
+        _flitHops += std::uint64_t(msg.flits) * hops;
+    }
+
+    int _numNodes;
+
+  private:
+    std::vector<Handler> _handlers;
+    Counter &_messages;
+    Counter &_flitHops;
+};
+
+} // namespace wb
+
+#endif // WB_NETWORK_NETWORK_HH

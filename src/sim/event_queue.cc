@@ -1,0 +1,53 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace wb
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    assert(when >= _now && "cannot schedule in the past");
+    _heap.push(Entry{when, static_cast<int>(prio), _nextOrder++,
+                     std::move(cb)});
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return _heap.empty() ? maxTick : _heap.top().when;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!_heap.empty() && _heap.top().when <= limit) {
+        // Copy out the callback before popping so that events
+        // scheduled by the callback do not invalidate the top entry.
+        Entry e = _heap.top();
+        _heap.pop();
+        assert(e.when >= _now);
+        _now = e.when;
+        ++_executed;
+        e.cb();
+    }
+    if (limit != maxTick && limit > _now)
+        _now = limit;
+}
+
+Tick
+EventQueue::runAll(Tick limit)
+{
+    while (!_heap.empty() && _heap.top().when <= limit) {
+        Entry e = _heap.top();
+        _heap.pop();
+        _now = e.when;
+        ++_executed;
+        e.cb();
+    }
+    return _now;
+}
+
+} // namespace wb

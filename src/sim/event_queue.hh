@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Events are arbitrary callbacks scheduled at a tick with a priority.
+ * Two events at the same (tick, priority) execute in scheduling order,
+ * which keeps whole-system simulations reproducible across runs.
+ */
+
+#ifndef WB_SIM_EVENT_QUEUE_HH
+#define WB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/**
+ * Relative ordering of events that fire on the same tick. Lower values
+ * run first.
+ */
+enum class EventPriority : int
+{
+    /** Message delivery into component input queues. */
+    Delivery = 0,
+    /** Default priority for component callbacks. */
+    Default = 10,
+    /** End-of-cycle bookkeeping (stats, watchdogs). */
+    Late = 20,
+};
+
+/**
+ * Deterministic discrete-event queue. The queue is not thread safe;
+ * the whole simulator is single threaded by design.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @pre when >= now()
+     */
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(_now + delta, std::move(cb), prio);
+    }
+
+    /** @return true if no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /** Tick of the next pending event, or maxTick if none. */
+    Tick nextTick() const;
+
+    /**
+     * Execute every event scheduled at ticks <= @p limit, advancing
+     * time as events fire. Afterwards now() == max(now, limit).
+     *
+     * Events may schedule further events; newly scheduled events
+     * within the window are also executed.
+     */
+    void runUntil(Tick limit);
+
+    /** Execute exactly the events of the current tick (now()). */
+    void runCurrentTick() { runUntil(_now); }
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     * @return the tick reached.
+     */
+    Tick runAll(Tick limit = maxTick);
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t order; // tie breaker: scheduling order
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.order > b.order;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _nextOrder = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace wb
+
+#endif // WB_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,63 @@
+#include "sim/log.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wb
+{
+
+namespace
+{
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out(len > 0 ? std::size_t(len) : 0, '\0');
+    if (len > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+} // namespace
+
+void
+Trace::printLine(Tick tick, const char *unit, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string body = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%10llu: %-12s %s\n",
+                 static_cast<unsigned long long>(tick), unit,
+                 body.c_str());
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string body = vformat(fmt, ap);
+    va_end(ap);
+    // Throw instead of abort() so that tests can observe panics.
+    throw std::logic_error("panic: " + body);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string body = vformat(fmt, ap);
+    va_end(ap);
+    throw std::runtime_error("fatal: " + body);
+}
+
+} // namespace wb

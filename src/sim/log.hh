@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight trace/debug logging with per-component flags, in the
+ * spirit of gem5's DPRINTF. Disabled components cost one branch.
+ */
+
+#ifndef WB_SIM_LOG_HH
+#define WB_SIM_LOG_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/** Trace component categories. */
+enum class LogFlag : unsigned
+{
+    Core = 1u << 0,
+    Cache = 1u << 1,
+    Directory = 1u << 2,
+    Network = 1u << 3,
+    Lockdown = 1u << 4,
+    Checker = 1u << 5,
+    Commit = 1u << 6,
+    Workload = 1u << 7,
+};
+
+/** Global trace configuration (off by default). */
+class Trace
+{
+  public:
+    /** Enable the given flag bits. */
+    static void enable(unsigned flags) { mask() |= flags; }
+    static void enable(LogFlag f) { mask() |= unsigned(f); }
+    static void disableAll() { mask() = 0; }
+
+    static bool
+    active(LogFlag f)
+    {
+        return (mask() & unsigned(f)) != 0;
+    }
+
+    /** printf-style trace line, prefixed with tick and unit name. */
+    static void
+    printLine(Tick tick, const char *unit, const char *fmt, ...)
+#ifdef __GNUC__
+        __attribute__((format(printf, 3, 4)))
+#endif
+        ;
+
+  private:
+    static unsigned &
+    mask()
+    {
+        static unsigned m = 0;
+        return m;
+    }
+};
+
+/**
+ * Trace macro: cheap when the flag is off.
+ * Usage: WB_TRACE(flag, tick, "l1.3", "fill line %lx", addr);
+ */
+#define WB_TRACE(flag, tick, unit, ...)                               \
+    do {                                                              \
+        if (::wb::Trace::active(flag))                                \
+            ::wb::Trace::printLine((tick), (unit), __VA_ARGS__);      \
+    } while (0)
+
+/**
+ * Abort the simulation with a message: a simulator bug (never the
+ * user's fault). Mirrors gem5's panic().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+#ifdef __GNUC__
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/** Exit with an error message caused by bad user input/config. */
+[[noreturn]] void fatal(const char *fmt, ...)
+#ifdef __GNUC__
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+} // namespace wb
+
+#endif // WB_SIM_LOG_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Base class for simulated hardware components.
+ */
+
+#ifndef WB_SIM_SIM_OBJECT_HH
+#define WB_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/**
+ * A named simulated component bound to an event queue and a stat
+ * registry. Components that do per-cycle work also implement tick();
+ * the System calls tick() on every registered component each cycle in
+ * a deterministic order.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue *eq, StatRegistry *stats)
+        : _name(std::move(name)), _eq(eq),
+          _stats(stats, _name)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventQueue() { return *_eq; }
+    Tick now() const { return _eq->now(); }
+
+    /** Per-cycle work; default: none. */
+    virtual void tick() {}
+
+  protected:
+    StatGroup &statGroup() { return _stats; }
+
+  private:
+    std::string _name;
+    EventQueue *_eq;
+    StatGroup _stats;
+};
+
+} // namespace wb
+
+#endif // WB_SIM_SIM_OBJECT_HH

@@ -1,0 +1,137 @@
+#include "sim/stats.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace wb
+{
+
+void
+Counter::print(std::ostream &os) const
+{
+    os << name() << " " << _value;
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    ++_samples;
+    _sum += v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+    // Bucket i holds values in [2^(i-1), 2^i), bucket 0 holds 0.
+    std::size_t bucket = v == 0 ? 0 : std::bit_width(v);
+    if (bucket >= _buckets.size())
+        bucket = _buckets.size() - 1;
+    ++_buckets[bucket];
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << name() << " samples=" << _samples << " mean=" << mean()
+       << " min=" << (_samples ? _min : 0) << " max=" << _max;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _samples = 0;
+    _sum = 0;
+    _min = ~std::uint64_t(0);
+    _max = 0;
+}
+
+void
+StatRegistry::add(StatBase *stat)
+{
+    assert(stat);
+    auto [it, inserted] = _stats.emplace(stat->name(), stat);
+    (void)it;
+    assert(inserted && "duplicate stat name");
+}
+
+void
+StatRegistry::remove(StatBase *stat)
+{
+    auto it = _stats.find(stat->name());
+    if (it != _stats.end() && it->second == stat)
+        _stats.erase(it);
+}
+
+StatBase *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = _stats.find(name);
+    return it == _stats.end() ? nullptr : it->second;
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto *stat = dynamic_cast<Counter *>(find(name));
+    return stat ? stat->value() : 0;
+}
+
+std::uint64_t
+StatRegistry::sumCounters(const std::string &suffix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, stat] : _stats) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            if (auto *c = dynamic_cast<Counter *>(stat))
+                total += c->value();
+        }
+    }
+    return total;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : _stats) {
+        stat->print(os);
+        os << "\n";
+    }
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : _stats)
+        stat->reset();
+}
+
+StatGroup::~StatGroup()
+{
+    for (auto *stat : _owned) {
+        if (_registry)
+            _registry->remove(stat);
+        delete stat;
+    }
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    auto *c = new Counter(_prefix + "." + name);
+    _owned.push_back(c);
+    if (_registry)
+        _registry->add(c);
+    return *c;
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name)
+{
+    auto *h = new Histogram(_prefix + "." + name);
+    _owned.push_back(h);
+    if (_registry)
+        _registry->add(h);
+    return *h;
+}
+
+} // namespace wb

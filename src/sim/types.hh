@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef WB_SIM_TYPES_HH
+#define WB_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wb
+{
+
+/** Simulated time, in core clock cycles (all clocks are synchronous). */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Identifier of a core (and of the network node it lives on). */
+using CoreId = int;
+
+/** Identifier of an LLC bank / directory slice. */
+using BankId = int;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for an unresolved / invalid address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Global, per-core-monotonic instruction sequence number. */
+using InstSeqNum = std::uint64_t;
+
+constexpr InstSeqNum invalidSeqNum =
+    std::numeric_limits<InstSeqNum>::max();
+
+} // namespace wb
+
+#endif // WB_SIM_TYPES_HH

@@ -1,0 +1,191 @@
+#include "system/report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wb
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    void
+    openObject(const std::string &key = "")
+    {
+        comma();
+        if (!key.empty())
+            _os << '"' << jsonEscape(key) << "\":";
+        _os << '{';
+        _first = true;
+    }
+
+    void
+    closeObject()
+    {
+        _os << '}';
+        _first = false;
+    }
+
+    void
+    field(const std::string &key, std::uint64_t v)
+    {
+        comma();
+        _os << '"' << jsonEscape(key) << "\":" << v;
+    }
+
+    void
+    field(const std::string &key, double v)
+    {
+        comma();
+        _os << '"' << jsonEscape(key) << "\":" << std::setprecision(8)
+            << v;
+    }
+
+    void
+    field(const std::string &key, bool v)
+    {
+        comma();
+        _os << '"' << jsonEscape(key)
+            << "\":" << (v ? "true" : "false");
+    }
+
+    void
+    field(const std::string &key, const std::string &v)
+    {
+        comma();
+        _os << '"' << jsonEscape(key) << "\":\"" << jsonEscape(v)
+            << '"';
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!_first)
+            _os << ',';
+        _first = false;
+    }
+
+    std::ostream &_os;
+    bool _first = true;
+};
+
+} // namespace
+
+void
+writeJsonReport(std::ostream &os, const std::string &workload,
+                const SystemConfig &cfg, const SimResults &r,
+                const StatRegistry *stats)
+{
+    JsonWriter w(os);
+    w.openObject();
+    w.field("workload", workload);
+
+    w.openObject("config");
+    w.field("numCores", std::uint64_t(cfg.numCores));
+    w.field("commitMode",
+            std::string(commitModeName(cfg.core.commitMode)));
+    w.field("lockdown", cfg.core.lockdown);
+    w.field("writersBlock", cfg.mem.writersBlock);
+    w.field("inOrderIssue", cfg.core.inOrderIssue);
+    w.field("robSize", std::uint64_t(cfg.core.robSize));
+    w.field("lqSize", std::uint64_t(cfg.core.lqSize));
+    w.field("sqSize", std::uint64_t(cfg.core.sqSize));
+    w.field("ldtSize", std::uint64_t(cfg.core.ldtSize));
+    w.field("network", std::string(cfg.network == NetworkKind::Mesh
+                                       ? "mesh"
+                                       : "ideal"));
+    w.field("silentSharedEvictions",
+            cfg.mem.silentSharedEvictions);
+    w.field("prefetchNextLine", cfg.mem.prefetchNextLine);
+    w.closeObject();
+
+    w.openObject("results");
+    w.field("completed", r.completed);
+    w.field("deadlocked", r.deadlocked);
+    w.field("cycles", std::uint64_t(r.cycles));
+    w.field("instructions", r.instructions);
+    w.field("loads", r.loads);
+    w.field("stores", r.stores);
+    w.field("atomics", r.atomics);
+    w.field("flitHops", r.flitHops);
+    w.field("messages", r.messages);
+    w.field("writersBlockEntries", r.wbEntries);
+    w.field("writersBlockEncounters", r.wbEncounters);
+    w.field("uncacheableReads", r.uncacheableReads);
+    w.field("nacksSent", r.nacksSent);
+    w.field("ackReleases", r.ackReleases);
+    w.field("lockdownsSet", r.lockdownsSet);
+    w.field("lockdownsSeen", r.lockdownsSeen);
+    w.field("ldtExports", r.ldtExports);
+    w.field("oooCommits", r.oooCommits);
+    w.field("squashBranch", r.squashBranch);
+    w.field("squashDspec", r.squashDspec);
+    w.field("squashInv", r.squashInv);
+    w.field("stallRob", r.stallRob);
+    w.field("stallLq", r.stallLq);
+    w.field("stallSq", r.stallSq);
+    w.field("stallOther", r.stallOther);
+    w.field("coreCycles", r.coreCycles);
+    w.field("tsoViolations", std::uint64_t(r.tsoViolations));
+    w.field("wbPerKiloStore", r.wbPerKiloStore());
+    w.field("uncReadsPerKiloLoad", r.uncReadsPerKiloLoad());
+    w.closeObject();
+
+    if (stats) {
+        // Raw counters (histograms summarised by their print form).
+        std::ostringstream dump;
+        stats->dump(dump);
+        w.openObject("counters");
+        std::istringstream lines(dump.str());
+        std::string line;
+        while (std::getline(lines, line)) {
+            const auto space = line.find(' ');
+            if (space == std::string::npos)
+                continue;
+            const std::string name = line.substr(0, space);
+            const std::string value = line.substr(space + 1);
+            // Counters are plain integers; histogram lines carry
+            // key=value text and are stored as strings.
+            if (value.find_first_not_of("0123456789") ==
+                std::string::npos && !value.empty())
+                w.field(name, std::uint64_t(std::stoull(value)));
+            else
+                w.field(name, value);
+        }
+        w.closeObject();
+    }
+    w.closeObject();
+    os << '\n';
+}
+
+} // namespace wb

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Machine-readable result reporting: serialise a run's configuration,
+ * headline results, and (optionally) every raw counter as JSON, for
+ * downstream plotting/regression tooling.
+ */
+
+#ifndef WB_SYSTEM_REPORT_HH
+#define WB_SYSTEM_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "system/system.hh"
+
+namespace wb
+{
+
+/**
+ * Write one run as a JSON object:
+ *
+ * {
+ *   "workload": "...", "config": {...},
+ *   "results": {...},
+ *   "counters": {...}          // only with include_counters
+ * }
+ */
+void writeJsonReport(std::ostream &os, const std::string &workload,
+                     const SystemConfig &cfg, const SimResults &r,
+                     const StatRegistry *stats = nullptr);
+
+/** JSON string escaping helper (exposed for tests). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace wb
+
+#endif // WB_SYSTEM_REPORT_HH

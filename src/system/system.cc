@@ -1,0 +1,229 @@
+#include "system/system.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "coherence/messages.hh"
+#include "sim/log.hh"
+
+namespace wb
+{
+
+System::System(const SystemConfig &cfg, const Workload &workload)
+    : _cfg(cfg)
+{
+    if (int(workload.threads.size()) > cfg.numCores)
+        fatal("workload has %d threads but only %d cores",
+              int(workload.threads.size()), cfg.numCores);
+
+    // Pad programs so that every core has one (idle cores halt).
+    _programs = workload.threads;
+    while (int(_programs.size()) < cfg.numCores)
+        _programs.push_back(Program{Instr{Opcode::Halt, 0, 0, 0, 0,
+                                          0}});
+
+    for (const auto &[addr, value] : workload.initMem)
+        _memory.poke(addr, value);
+
+    if (cfg.network == NetworkKind::Mesh) {
+        MeshConfig mc = cfg.mesh;
+        if (mc.width * mc.height < cfg.numCores)
+            fatal("mesh too small for %d cores", cfg.numCores);
+        _net = std::make_unique<MeshNetwork>("net", &_eq, &_stats,
+                                             mc);
+    } else {
+        IdealNetworkConfig ic = cfg.ideal;
+        ic.numNodes = cfg.numCores;
+        _net = std::make_unique<IdealNetwork>("net", &_eq, &_stats,
+                                              ic);
+    }
+
+    if (cfg.checker)
+        _checker =
+            std::make_unique<TsoChecker>(&_eq, cfg.numCores);
+
+    CoreConfig core_cfg = cfg.core;
+    if (cfg.maxInstructionsPerCore)
+        core_cfg.maxInstructions = cfg.maxInstructionsPerCore;
+    _cfg.mem.numBanks = unsigned(cfg.numCores);
+
+    for (int i = 0; i < cfg.numCores; ++i) {
+        _l1s.push_back(std::make_unique<L1Controller>(
+            "l1." + std::to_string(i), &_eq, &_stats, i, _cfg.mem,
+            _net.get(), cfg.numCores));
+        _llcs.push_back(std::make_unique<LLCBank>(
+            "llc." + std::to_string(i), &_eq, &_stats, i, _cfg.mem,
+            _net.get(), &_memory));
+        _cores.push_back(std::make_unique<Core>(
+            "core." + std::to_string(i), &_eq, &_stats, i, core_cfg,
+            _l1s.back().get(), &_programs[std::size_t(i)]));
+        _l1s.back()->setCore(_cores.back().get());
+        if (_checker) {
+            _l1s.back()->setObserver(_checker.get());
+            _cores.back()->setChecker(_checker.get());
+        }
+    }
+
+    for (int i = 0; i < cfg.numCores; ++i) {
+        L1Controller *l1 = _l1s[std::size_t(i)].get();
+        LLCBank *llc = _llcs[std::size_t(i)].get();
+        _net->registerNode(i, [l1, llc](MsgPtr msg) {
+            auto *cm = static_cast<CohMsg *>(msg.get());
+            if (cohToDirectory(cm->type))
+                llc->handleMessage(std::move(msg));
+            else
+                l1->handleMessage(std::move(msg));
+        });
+    }
+}
+
+System::~System() = default;
+
+bool
+System::allDone() const
+{
+    for (const auto &c : _cores)
+        if (!c->done())
+            return false;
+    return true;
+}
+
+void
+System::step(Tick n)
+{
+    for (Tick i = 0; i < n; ++i) {
+        ++_cycle;
+        _eq.runUntil(_cycle);
+        for (auto &l1 : _l1s)
+            l1->tick();
+        for (auto &llc : _llcs)
+            llc->tick();
+        for (auto &core : _cores)
+            core->tick();
+    }
+}
+
+SimResults
+System::run()
+{
+    _lastProgress = _cycle;
+    _lastCommits = 0;
+    while (_cycle < _cfg.maxCycles) {
+        step();
+        if (allDone())
+            break;
+
+        // Deadlock watchdog: global commit progress must continue.
+        std::uint64_t commits = 0;
+        for (const auto &c : _cores)
+            commits += c->instructionsCommitted();
+        if (commits != _lastCommits) {
+            _lastCommits = commits;
+            _lastProgress = _cycle;
+        } else if (_cycle - _lastProgress > _cfg.watchdogCycles) {
+            _deadlocked = true;
+            std::fprintf(stderr,
+                         "WATCHDOG: no commit for %llu cycles at "
+                         "cycle %llu\n",
+                         static_cast<unsigned long long>(
+                             _cfg.watchdogCycles),
+                         static_cast<unsigned long long>(_cycle));
+            dumpState(std::cerr);
+            break;
+        }
+    }
+    SimResults r = snapshot();
+    r.completed = allDone();
+    r.deadlocked = _deadlocked;
+    return r;
+}
+
+SimResults
+System::snapshot() const
+{
+    SimResults r;
+    r.cycles = _cycle;
+    r.instructions = _stats.sumCounters(".commits");
+    r.loads = _stats.sumCounters(".loads");
+    // Core-side stores = committed stores; atomics counted apart.
+    r.stores = 0;
+    r.atomics = 0;
+    for (const auto &c : _cores) {
+        r.stores += _stats.counterValue(c->name() + ".stores");
+        r.atomics += _stats.counterValue(c->name() + ".atomics");
+    }
+    r.flitHops = _stats.counterValue("net.flitHops");
+    r.messages = _stats.counterValue("net.messages");
+    r.wbEntries = _stats.sumCounters(".writersBlockEntries");
+    r.wbEncounters = _stats.sumCounters(".writersBlockEncounters");
+    r.uncacheableReads = _stats.sumCounters(".uncacheableReads");
+    r.nacksSent = _stats.sumCounters(".nacksSent");
+    r.ackReleases = _stats.sumCounters(".ackReleases");
+    r.lockdownsSet = _stats.sumCounters(".lockdownsSet");
+    r.lockdownsSeen = _stats.sumCounters(".lockdownsSeen");
+    r.ldtExports = _stats.sumCounters(".ldtExports");
+    r.oooCommits = _stats.sumCounters(".oooCommits");
+    r.squashBranch = _stats.sumCounters(".squashBranch");
+    r.squashDspec = _stats.sumCounters(".squashDspec");
+    r.squashInv = _stats.sumCounters(".squashInv");
+    r.stallRob = _stats.sumCounters(".stallRobFull");
+    r.stallLq = _stats.sumCounters(".stallLqFull");
+    r.stallSq = _stats.sumCounters(".stallSqFull");
+    r.stallOther = _stats.sumCounters(".stallOther");
+    r.coreCycles = _stats.sumCounters(".cycles");
+    r.tsoViolations =
+        _checker ? _checker->violations().size() : 0;
+    return r;
+}
+
+void
+System::dumpState(std::ostream &os) const
+{
+    for (const auto &c : _cores)
+        if (!c->done())
+            c->dumpState(os);
+    for (const auto &l1 : _l1s)
+        l1->dumpState(os);
+    for (const auto &llc : _llcs)
+        llc->dumpState(os);
+}
+
+std::uint64_t
+System::peekCoherent(Addr addr) const
+{
+    std::uint64_t v = 0;
+    bool writable = false;
+    // An E/M private copy is the authoritative value.
+    for (const auto &l1 : _l1s)
+        if (l1->peekWord(addr, v, writable) && writable)
+            return v;
+    const BankId home = homeBank(lineOf(addr), _cfg.numCores);
+    if (_llcs[std::size_t(home)]->peekWord(addr, v))
+        return v;
+    // A shared private copy matches the LLC/memory image anyway.
+    return _memory.peek(addr);
+}
+
+std::string
+describeConfig(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    os << cfg.numCores << " cores, "
+       << commitModeName(cfg.core.commitMode)
+       << (cfg.mem.writersBlock ? " + WritersBlock protocol"
+                                : " + base directory protocol")
+       << " | IQ " << cfg.core.iqSize << " ROB " << cfg.core.robSize
+       << " LQ " << cfg.core.lqSize << " SQ " << cfg.core.sqSize
+       << " SB " << cfg.core.sbSize << " LDT " << cfg.core.ldtSize
+       << " | L1 " << cfg.mem.l1Size / 1024 << "KB/"
+       << cfg.mem.l1HitLatency << "cy L2 "
+       << cfg.mem.l2Size / 1024 << "KB/" << cfg.mem.l2HitLatency
+       << "cy LLC " << cfg.mem.llcBankSize / 1024 << "KB/bank/"
+       << cfg.mem.llcHitLatency << "cy mem " << cfg.mem.memLatency
+       << "cy";
+    return os.str();
+}
+
+} // namespace wb

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Whole-system model: N nodes, each hosting a core + private caches
+ * + one LLC bank slice, connected by a 2D mesh (or an ideal jittered
+ * network for stress testing). This is the library's main entry
+ * point: build a SystemConfig and a Workload, construct a System,
+ * call run().
+ */
+
+#ifndef WB_SYSTEM_SYSTEM_HH
+#define WB_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "checker/tso_checker.hh"
+#include "coherence/config.hh"
+#include "coherence/l1_controller.hh"
+#include "coherence/llc_bank.hh"
+#include "coherence/main_memory.hh"
+#include "core/core.hh"
+#include "isa/program.hh"
+#include "network/ideal.hh"
+#include "network/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace wb
+{
+
+/** Interconnect selection. */
+enum class NetworkKind
+{
+    Mesh,  //!< 4x4 mesh, Table 6 parameters
+    Ideal, //!< fixed latency + random jitter (adversarial tests)
+};
+
+struct SystemConfig
+{
+    int numCores = 16;
+    CoreConfig core;
+    MemSystemConfig mem;
+    NetworkKind network = NetworkKind::Mesh;
+    MeshConfig mesh;
+    IdealNetworkConfig ideal;
+    bool checker = true;         //!< attach the dynamic TSO checker
+    Tick maxCycles = 100'000'000;
+    Tick watchdogCycles = 200'000; //!< no commit anywhere => deadlock
+    std::uint64_t maxInstructionsPerCore = 0; //!< 0 = run to Halt
+
+    /** Convenience: make the core/protocol flavours consistent. */
+    void
+    setMode(CommitMode mode)
+    {
+        core.commitMode = mode;
+        core.lockdown = mode == CommitMode::OooWB;
+        mem.writersBlock = core.lockdown;
+    }
+};
+
+/** Aggregated results of one simulation. */
+struct SimResults
+{
+    bool completed = false;  //!< every thread halted
+    bool deadlocked = false; //!< watchdog fired
+    Tick cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t atomics = 0;
+
+    // network
+    std::uint64_t flitHops = 0;
+    std::uint64_t messages = 0;
+
+    // WritersBlock / protocol events
+    std::uint64_t wbEntries = 0;      //!< directory WritersBlocks
+    std::uint64_t wbEncounters = 0;   //!< writes deferred at a WB
+    std::uint64_t uncacheableReads = 0;
+    std::uint64_t nacksSent = 0;
+    std::uint64_t ackReleases = 0;
+    std::uint64_t lockdownsSet = 0;
+    std::uint64_t lockdownsSeen = 0;
+    std::uint64_t ldtExports = 0;
+    std::uint64_t oooCommits = 0;
+
+    // squashes
+    std::uint64_t squashBranch = 0;
+    std::uint64_t squashDspec = 0;
+    std::uint64_t squashInv = 0;
+
+    // stall breakdown (summed over cores, in core-cycles)
+    std::uint64_t stallRob = 0;
+    std::uint64_t stallLq = 0;
+    std::uint64_t stallSq = 0;
+    std::uint64_t stallOther = 0;
+    std::uint64_t coreCycles = 0;
+
+    std::size_t tsoViolations = 0;
+
+    double
+    wbPerKiloStore() const
+    {
+        return stores ? 1000.0 * double(wbEntries) / double(stores)
+                      : 0.0;
+    }
+    double
+    uncReadsPerKiloLoad() const
+    {
+        return loads ? 1000.0 * double(uncacheableReads) /
+                           double(loads)
+                     : 0.0;
+    }
+};
+
+/** The full simulated machine. */
+class System
+{
+  public:
+    System(const SystemConfig &cfg, const Workload &workload);
+    ~System();
+
+    /** Run to completion (or watchdog / cycle cap) and summarise. */
+    SimResults run();
+
+    /** Advance exactly @p n cycles (for tests). */
+    void step(Tick n = 1);
+
+    /** @return true once every thread halted and drained. */
+    bool allDone() const;
+
+    // component access for tests and tools
+    EventQueue &eventQueue() { return _eq; }
+    StatRegistry &stats() { return _stats; }
+    MainMemory &memory() { return _memory; }
+    TsoChecker *checker() { return _checker.get(); }
+    Core &core(int i) { return *_cores[std::size_t(i)]; }
+    L1Controller &l1(int i) { return *_l1s[std::size_t(i)]; }
+    LLCBank &llc(int i) { return *_llcs[std::size_t(i)]; }
+    Network &network() { return *_net; }
+    int numCores() const { return _cfg.numCores; }
+    Tick cycle() const { return _cycle; }
+
+    /** Gather current statistics into a SimResults. */
+    SimResults snapshot() const;
+
+    /** Dump all stuck-component state (watchdog diagnostics). */
+    void dumpState(std::ostream &os) const;
+
+    /**
+     * Functional read of the current globally-visible value of a
+     * word: prefers an exclusive/modified private copy, then the
+     * LLC image, then memory. Intended for test assertions after a
+     * run (values may still be cached dirty).
+     */
+    std::uint64_t peekCoherent(Addr addr) const;
+
+  private:
+    SystemConfig _cfg;
+    EventQueue _eq;
+    StatRegistry _stats;
+    MainMemory _memory;
+    std::unique_ptr<Network> _net;
+    std::unique_ptr<TsoChecker> _checker;
+    std::vector<std::unique_ptr<L1Controller>> _l1s;
+    std::vector<std::unique_ptr<LLCBank>> _llcs;
+    std::vector<std::unique_ptr<Core>> _cores;
+    std::vector<Program> _programs; //!< padded to numCores
+    Tick _cycle = 0;
+    bool _deadlocked = false;
+    std::uint64_t _lastCommits = 0;
+    Tick _lastProgress = 0;
+};
+
+/** One-line human description of a config (Table 6 style). */
+std::string describeConfig(const SystemConfig &cfg);
+
+} // namespace wb
+
+#endif // WB_SYSTEM_SYSTEM_HH

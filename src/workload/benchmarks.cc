@@ -1,0 +1,145 @@
+#include "workload/benchmarks.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+/**
+ * Qualitative profile knobs per benchmark. The tuning intent per
+ * column (see DESIGN.md):
+ *   privateWords  -> private miss rate (L1 32KB = 4K words,
+ *                    L2 128KB = 16K words: larger spills further)
+ *   sharedRatio/storeRatio -> coherence races (WritersBlock rate)
+ *   lockRatio     -> atomics (lockdown fences)
+ *   chainRatio    -> serial dependences (low ILP)
+ *   unpredictable -> branch mispredict rate
+ */
+struct ProfileRow
+{
+    const char *name;
+    std::uint64_t privateWords;
+    std::uint64_t sharedWords;
+    double memRatio;
+    double storeRatio;
+    double sharedRatio;
+    double chainRatio;
+    double lockRatio;
+    double branchRatio;
+    double unpredictable;
+    double hotRatio;
+};
+
+const ProfileRow profileTable[] = {
+    // SPLASH-3
+    // name           priv     shared  mem   st    shr   chain lock   br    unpred
+    {"barnes",        32768,   16384, 0.38, 0.22, 0.10, 0.30, 0.006, 0.12, 0.35, 0.05},
+    {"cholesky",      16384,    8192, 0.35, 0.25, 0.08, 0.25, 0.004, 0.10, 0.20, 0.05},
+    {"fft",           65536,    4096, 0.42, 0.30, 0.04, 0.10, 0.001, 0.08, 0.10, 0.02},
+    {"fmm",           16384,   16384, 0.36, 0.22, 0.12, 0.25, 0.008, 0.12, 0.30, 0.06},
+    {"lu_cb",          8192,    4096, 0.38, 0.28, 0.06, 0.15, 0.002, 0.08, 0.10, 0.03},
+    {"lu_ncb",        65536,    8192, 0.40, 0.28, 0.10, 0.12, 0.001, 0.08, 0.10, 0.05},
+    {"ocean_cp",      65536,   16384, 0.45, 0.30, 0.12, 0.15, 0.003, 0.10, 0.15, 0.08},
+    {"ocean_ncp",    131072,   16384, 0.45, 0.30, 0.14, 0.15, 0.003, 0.10, 0.15, 0.10},
+    {"radiosity",      8192,   16384, 0.33, 0.20, 0.18, 0.25, 0.015, 0.14, 0.40, 0.15},
+    {"radix",        131072,    8192, 0.40, 0.35, 0.08, 0.10, 0.002, 0.06, 0.10, 0.04},
+    {"raytrace",      16384,   32768, 0.36, 0.15, 0.15, 0.35, 0.012, 0.14, 0.40, 0.12},
+    {"volrend",        8192,   16384, 0.34, 0.15, 0.12, 0.30, 0.010, 0.16, 0.45, 0.10},
+    {"water_nsq",      8192,    8192, 0.34, 0.20, 0.10, 0.20, 0.012, 0.10, 0.25, 0.10},
+    {"water_sp",       8192,    4096, 0.34, 0.20, 0.06, 0.20, 0.006, 0.10, 0.25, 0.06},
+    // PARSEC 3.0
+    {"blackscholes",   4096,    2048, 0.28, 0.15, 0.02, 0.10, 0.000, 0.08, 0.10, 0.00},
+    {"bodytrack",    131072,   16384, 0.44, 0.20, 0.10, 0.12, 0.008, 0.12, 0.30, 0.06},
+    {"canneal",      262144,   32768, 0.42, 0.18, 0.16, 0.45, 0.004, 0.10, 0.40, 0.08},
+    {"dedup",         32768,   16384, 0.36, 0.25, 0.12, 0.25, 0.012, 0.12, 0.35, 0.10},
+    {"fluidanimate",  32768,   32768, 0.40, 0.25, 0.16, 0.20, 0.020, 0.10, 0.25, 0.12},
+    {"freqmine",      65536,   32768, 0.40, 0.18, 0.22, 0.35, 0.006, 0.12, 0.35, 0.30},
+    {"streamcluster", 65536,   16384, 0.44, 0.32, 0.26, 0.15, 0.006, 0.08, 0.15, 0.12},
+    {"swaptions",      4096,    2048, 0.30, 0.18, 0.02, 0.15, 0.001, 0.10, 0.15, 0.00},
+};
+
+constexpr int numSplash = 14;
+
+std::vector<std::string>
+namesRange(int from, int to)
+{
+    std::vector<std::string> v;
+    for (int i = from; i < to; ++i)
+        v.push_back(profileTable[i].name);
+    return v;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = namesRange(
+        0, int(std::size(profileTable)));
+    return names;
+}
+
+const std::vector<std::string> &
+splashNames()
+{
+    static const std::vector<std::string> names =
+        namesRange(0, numSplash);
+    return names;
+}
+
+const std::vector<std::string> &
+parsecNames()
+{
+    static const std::vector<std::string> names = namesRange(
+        numSplash, int(std::size(profileTable)));
+    return names;
+}
+
+SyntheticParams
+benchmarkProfile(const std::string &name, double scale)
+{
+    const ProfileRow *row = nullptr;
+    for (const auto &r : profileTable) {
+        if (name == r.name) {
+            row = &r;
+            break;
+        }
+    }
+    if (!row)
+        fatal("unknown benchmark profile '%s'", name.c_str());
+
+    SyntheticParams p;
+    p.name = row->name;
+    p.privateWords = row->privateWords;
+    p.sharedWords = row->sharedWords;
+    p.memRatio = row->memRatio;
+    p.storeRatio = row->storeRatio;
+    p.sharedRatio = row->sharedRatio;
+    p.chainRatio = row->chainRatio;
+    p.lockRatio = row->lockRatio;
+    p.branchRatio = row->branchRatio;
+    p.unpredictable = row->unpredictable;
+    p.hotRatio = row->hotRatio;
+    p.bodyOps = 40;
+    p.iterations = std::uint64_t(
+        std::max(1.0, 250.0 * std::max(0.05, scale)));
+    // Deterministic per-benchmark seed.
+    p.seed = 0x9e3779b9;
+    for (char c : name)
+        p.seed = p.seed * 131 + std::uint64_t(c);
+    return p;
+}
+
+Workload
+makeBenchmark(const std::string &name, int threads, double scale)
+{
+    return makeSynthetic(benchmarkProfile(name, scale), threads);
+}
+
+} // namespace wb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared conventions and code-emission helpers for workloads:
+ * address-space layout, spinlocks, and barriers.
+ */
+
+#ifndef WB_WORKLOAD_COMMON_HH
+#define WB_WORKLOAD_COMMON_HH
+
+#include "isa/program.hh"
+#include "mem/addr.hh"
+
+namespace wb
+{
+
+/** Address-space layout used by all generated workloads. */
+namespace layout
+{
+constexpr Addr litmusBase = 0x0001'0000;
+constexpr Addr privateBase = 0x1000'0000;
+constexpr Addr privateSpan = 0x0100'0000; //!< per thread
+constexpr Addr sharedBase = 0x2000'0000;
+constexpr Addr lockBase = 0x3000'0000;
+constexpr Addr resultBase = 0x4000'0000;
+constexpr Addr barrierBase = 0x5000'0000;
+
+inline Addr
+privateRegion(int thread)
+{
+    return privateBase + Addr(thread) * privateSpan;
+}
+} // namespace layout
+
+/**
+ * Emit a test-and-set spinlock acquire:
+ *   spin: amoswap tmp, [addr_reg], one ; bne tmp, zero, spin
+ * @pre reg @p one holds 1; register 0 must hold 0.
+ */
+inline void
+emitLockAcquire(ProgramBuilder &b, Reg addr_reg, Reg tmp, Reg one)
+{
+    auto spin = b.newLabel();
+    b.bind(spin);
+    b.amoswap(tmp, addr_reg, one);
+    b.bne(tmp, 0, spin);
+}
+
+/** Emit a spinlock release: st [addr_reg], zero. */
+inline void
+emitLockRelease(ProgramBuilder &b, Reg addr_reg)
+{
+    b.st(addr_reg, 0);
+}
+
+/**
+ * Emit a sense-less centralised barrier for @p num_threads threads,
+ * usable repeatedly: each arrival atomically increments the counter;
+ * threads spin until the count reaches a multiple of num_threads
+ * beyond their own epoch.
+ *
+ * Uses an epoch counter at [addr_reg]: arrive = amoadd 1; spin until
+ * value >= my_ticket + num_threads - my_position... To stay simple we
+ * use the classic two-counter formulation: the caller passes a
+ * per-call scratch register holding the target count.
+ *
+ * Simpler scheme used here: a single monotone counter. Thread
+ * computes target = old_value - (old_value % n) + n after arriving
+ * and spins until counter >= target.
+ *
+ * Registers: @p tmp, @p tmp2, @p tmp3 are clobbered; @p one holds 1;
+ * @p nreg holds num_threads.
+ */
+inline void
+emitBarrier(ProgramBuilder &b, Reg addr_reg, Reg one, Reg nreg,
+            Reg tmp, Reg tmp2, Reg tmp3)
+{
+    // tmp = fetch_add(counter, 1)  -> my arrival index (0-based)
+    b.amoadd(tmp, addr_reg, one);
+    // tmp2 = tmp - (tmp % n) + n   (end of my epoch)
+    // Compute tmp % n via repeated subtraction-free trick is awkward
+    // without division; instead require n to be a power of two and
+    // use a mask register: tmp2 = (tmp & ~(n-1)) + n.
+    // The caller guarantees nreg holds n (power of two) and tmp3 is
+    // scratch; the mask is derived with arithmetic: ~(n-1) = -n.
+    b.sub(tmp3, 0, nreg);    // tmp3 = -n
+    b.and_(tmp2, tmp, tmp3); // tmp2 = tmp & ~(n-1)
+    b.add(tmp2, tmp2, nreg); // epoch end
+    auto spin = b.newLabel();
+    b.bind(spin);
+    b.ld(tmp3, addr_reg);
+    b.blt(tmp3, tmp2, spin);
+}
+
+} // namespace wb
+
+#endif // WB_WORKLOAD_COMMON_HH

@@ -1,0 +1,211 @@
+#include "workload/synthetic.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "workload/common.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+// Register conventions (r0 reads as 0 and is never written).
+constexpr Reg rI = 1;       // iteration counter
+constexpr Reg rLim = 2;     // limit
+constexpr Reg rLcg = 3;     // LCG state
+constexpr Reg rMul = 4;     // LCG multiplier constant
+constexpr Reg rPriv = 5;    // private region base
+constexpr Reg rShared = 6;  // shared region base
+constexpr Reg rLocks = 7;   // lock region base
+constexpr Reg rOne = 8;
+constexpr Reg rAddr = 9;    // computed address
+constexpr Reg rVal = 10;    // last loaded value
+constexpr Reg rAcc = 11;    // running accumulator
+constexpr Reg rTmp = 12;
+constexpr Reg rTmp2 = 13;
+constexpr Reg rLock = 14;   // lock address
+
+/** Emit: rAddr = base + (lcg-step & mask). */
+void
+emitRandomAddr(ProgramBuilder &b, Reg base, std::uint64_t words)
+{
+    assert(words >= 2 && (words & (words - 1)) == 0);
+    // LCG step (constants small enough for the imm field).
+    b.mul(rLcg, rLcg, rMul);
+    b.addi(rLcg, rLcg, 12345);
+    // Mask to a word offset inside the region.
+    const std::int64_t mask = std::int64_t((words - 1) * wordBytes)
+                              & ~std::int64_t(wordBytes - 1);
+    b.andi(rTmp, rLcg, mask);
+    b.add(rAddr, base, rTmp);
+}
+
+class BodyEmitter
+{
+  public:
+    BodyEmitter(ProgramBuilder &b, const SyntheticParams &p, Rng &rng)
+        : _b(b), _p(p), _rng(rng)
+    {}
+
+    void
+    emitAction()
+    {
+        const double r = _rng.uniform();
+        double acc = _p.lockRatio;
+        if (r < acc)
+            return emitLockSection();
+        acc += _p.branchRatio;
+        if (r < acc)
+            return emitBranch();
+        acc += _p.memRatio;
+        if (r < acc)
+            return emitMemOp();
+        return emitAlu();
+    }
+
+  private:
+    void
+    emitAlu()
+    {
+        switch (_rng.below(4)) {
+          case 0: _b.add(rAcc, rAcc, rVal); break;
+          case 1: _b.xor_(rAcc, rAcc, rLcg); break;
+          case 2: _b.addi(rAcc, rAcc, 7); break;
+          default: _b.mul(rAcc, rAcc, rMul); break;
+        }
+    }
+
+    void
+    emitMemOp()
+    {
+        const bool shared = _rng.uniform() < _p.sharedRatio;
+        const bool store =
+            _rng.uniform() < _p.storeRatio;
+        const bool chained =
+            !store && _rng.uniform() < _p.chainRatio;
+        if (shared) {
+            // Hot subregion: heavily contended lines where racing
+            // invalidations meet in-flight reordered loads.
+            const bool hot = _rng.uniform() < _p.hotRatio;
+            emitRandomAddr(_b, rShared,
+                           hot ? _p.hotWords : _p.sharedWords);
+        } else {
+            emitRandomAddr(_b, rPriv, _p.privateWords);
+        }
+        if (store) {
+            _b.st(rAddr, rAcc);
+        } else if (chained) {
+            // Serialising load: the next address depends on the
+            // value (pointer-chase flavour).
+            _b.ld(rVal, rAddr);
+            _b.xor_(rLcg, rLcg, rVal);
+        } else {
+            _b.ld(rVal, rAddr);
+        }
+        // Spatial locality: a short burst of nearby accesses reuses
+        // the computed address, keeping the fraction of memory
+        // instructions realistic (one LCG step would otherwise cost
+        // four ALU instructions per access).
+        const int burst = int(_rng.below(3));
+        for (int i = 1; i <= burst; ++i) {
+            if (_rng.uniform() < _p.storeRatio)
+                _b.st(rAddr, rVal, i * std::int64_t(wordBytes));
+            else
+                _b.ld(rVal, rAddr, i * std::int64_t(wordBytes));
+        }
+    }
+
+    void
+    emitBranch()
+    {
+        const bool data_dep = _rng.uniform() < _p.unpredictable;
+        auto skip = _b.newLabel();
+        if (data_dep) {
+            // Unpredictable: branch on a value bit.
+            _b.andi(rTmp2, rLcg, 0x40);
+            _b.beq(rTmp2, 0, skip);
+        } else {
+            // Highly predictable: never-taken comparison.
+            _b.blt(rI, 0, skip);
+        }
+        emitAlu();
+        _b.bind(skip);
+    }
+
+    void
+    emitLockSection()
+    {
+        // Pick a lock (static per call-site for predictability of
+        // conflict distribution; varied by rng at generation time).
+        const std::int64_t lock_off =
+            std::int64_t(_rng.below(std::uint64_t(_p.numLocks))) *
+            lineBytes;
+        _b.addi(rLock, rLocks, lock_off);
+        emitLockAcquire(_b, rLock, rTmp, rOne);
+        for (int i = 0; i < _p.lockSectionOps; ++i) {
+            emitRandomAddr(_b, rShared, _p.sharedWords);
+            if (_rng.chance(0.5))
+                _b.st(rAddr, rAcc);
+            else
+                _b.ld(rVal, rAddr);
+        }
+        emitLockRelease(_b, rLock);
+    }
+
+    ProgramBuilder &_b;
+    const SyntheticParams &_p;
+    Rng &_rng;
+};
+
+Program
+makeThread(const SyntheticParams &p, int thread,
+           std::uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b;
+    b.li(rI, 0);
+    b.li(rLim, std::int64_t(p.iterations));
+    b.li(rLcg, std::int64_t(seed | 1));
+    b.li(rMul, 1103515245);
+    b.li(rPriv, std::int64_t(layout::privateRegion(thread)));
+    b.li(rShared, std::int64_t(layout::sharedBase));
+    b.li(rLocks, std::int64_t(layout::lockBase));
+    b.li(rOne, 1);
+    b.li(rVal, 1);
+    b.li(rAcc, std::int64_t(seed));
+
+    auto loop = b.newLabel();
+    b.bind(loop);
+    BodyEmitter e(b, p, rng);
+    for (int i = 0; i < p.bodyOps; ++i)
+        e.emitAction();
+    b.addi(rI, rI, 1);
+    b.blt(rI, rLim, loop);
+    b.halt();
+    return b.take();
+}
+
+} // namespace
+
+Workload
+makeSynthetic(const SyntheticParams &p, int num_threads)
+{
+    if (p.privateWords == 0 ||
+        (p.privateWords & (p.privateWords - 1)) != 0)
+        fatal("privateWords must be a power of two");
+    if (p.sharedWords == 0 ||
+        (p.sharedWords & (p.sharedWords - 1)) != 0)
+        fatal("sharedWords must be a power of two");
+
+    Workload wl;
+    wl.name = p.name;
+    for (int t = 0; t < num_threads; ++t)
+        wl.threads.push_back(
+            makeThread(p, t, p.seed * 7919 + std::uint64_t(t)));
+    return wl;
+}
+
+} // namespace wb

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parameterised synthetic multithreaded workloads.
+ *
+ * Each thread runs a loop whose body is a seeded pseudo-random mix
+ * of ALU chains, private/shared loads and stores (addresses drawn
+ * from an in-register LCG), lock-protected shared sections, and
+ * predictable/data-dependent branches. The parameters control the
+ * properties the paper's evaluation is sensitive to: working-set
+ * size (miss rates), sharing intensity (invalidations that hit
+ * reordered loads), store fraction (write requests that can block),
+ * dependence density (ILP / reordering opportunity), and lock rate
+ * (atomics that fence lockdowns).
+ */
+
+#ifndef WB_WORKLOAD_SYNTHETIC_HH
+#define WB_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace wb
+{
+
+struct SyntheticParams
+{
+    std::string name = "synthetic";
+    std::uint64_t iterations = 400;
+    int bodyOps = 40;          //!< actions per loop iteration
+    std::uint64_t privateWords = 4096;  //!< power of two, per thread
+    std::uint64_t sharedWords = 8192;   //!< power of two, global
+    double memRatio = 0.35;    //!< actions that touch memory
+    double storeRatio = 0.30;  //!< of memory actions
+    double sharedRatio = 0.20; //!< of memory actions
+    double hotRatio = 0.0;     //!< of shared accesses: go to a small
+                               //!< hot subregion (contended lines)
+    std::uint64_t hotWords = 64; //!< power of two
+    double chainRatio = 0.20;  //!< loads whose address depends on
+                               //!< the previous load (serialising)
+    double lockRatio = 0.008;  //!< lock-section actions
+    int numLocks = 16;
+    int lockSectionOps = 3;    //!< shared ops inside the section
+    double branchRatio = 0.12; //!< actions that branch
+    double unpredictable = 0.5;//!< of branches: data dependent
+    std::uint64_t seed = 1;
+};
+
+/** Build a workload of @p num_threads instances (distinct seeds). */
+Workload makeSynthetic(const SyntheticParams &p, int num_threads);
+
+} // namespace wb
+
+#endif // WB_WORKLOAD_SYNTHETIC_HH

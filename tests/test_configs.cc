@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Configuration conformance: the presets must match Table 6 of the
+ * paper exactly, and SystemConfig::setMode must keep the core and
+ * protocol flavours consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+
+namespace wb
+{
+
+TEST(Config, Table6CoreClasses)
+{
+    const CoreConfig slm = makeCoreConfig(CoreClass::SLM);
+    EXPECT_EQ(slm.fetchWidth, 4);
+    EXPECT_EQ(slm.commitWidth, 4);
+    EXPECT_EQ(slm.iqSize, 16);
+    EXPECT_EQ(slm.robSize, 32);
+    EXPECT_EQ(slm.lqSize, 10);
+    EXPECT_EQ(slm.sqSize, 16);
+    EXPECT_EQ(slm.sbSize, 16);
+    EXPECT_EQ(slm.ldtSize, 32);
+
+    const CoreConfig nhm = makeCoreConfig(CoreClass::NHM);
+    EXPECT_EQ(nhm.iqSize, 32);
+    EXPECT_EQ(nhm.robSize, 128);
+    EXPECT_EQ(nhm.lqSize, 48);
+    EXPECT_EQ(nhm.sqSize, 36);
+    EXPECT_EQ(nhm.sbSize, 36);
+
+    const CoreConfig hsw = makeCoreConfig(CoreClass::HSW);
+    EXPECT_EQ(hsw.iqSize, 60);
+    EXPECT_EQ(hsw.robSize, 192);
+    EXPECT_EQ(hsw.lqSize, 72);
+    EXPECT_EQ(hsw.sqSize, 42);
+    EXPECT_EQ(hsw.sbSize, 42);
+}
+
+TEST(Config, Table6MemorySystem)
+{
+    const MemSystemConfig mem;
+    EXPECT_EQ(mem.l1Size, 32u * 1024);
+    EXPECT_EQ(mem.l1Assoc, 8u);
+    EXPECT_EQ(mem.l1HitLatency, 4u);
+    EXPECT_EQ(mem.l2Size, 128u * 1024);
+    EXPECT_EQ(mem.l2Assoc, 8u);
+    EXPECT_EQ(mem.l2HitLatency, 12u);
+    EXPECT_EQ(mem.llcBankSize, 1024u * 1024);
+    EXPECT_EQ(mem.llcAssoc, 8u);
+    EXPECT_EQ(mem.llcHitLatency, 35u);
+    EXPECT_EQ(mem.memLatency, 160u);
+    EXPECT_TRUE(mem.silentSharedEvictions);
+    EXPECT_FALSE(mem.writersBlock);
+}
+
+TEST(Config, Table6Mesh)
+{
+    const MeshConfig mesh;
+    EXPECT_EQ(mesh.width * mesh.height, 16);
+    EXPECT_EQ(mesh.hopLatency, 6u);
+    EXPECT_EQ(unsigned(ctrlFlits), 1u);
+    EXPECT_EQ(unsigned(dataFlits), 5u);
+}
+
+TEST(Config, SetModeCouplesCoreAndProtocol)
+{
+    SystemConfig cfg;
+    cfg.setMode(CommitMode::OooWB);
+    EXPECT_TRUE(cfg.core.lockdown);
+    EXPECT_TRUE(cfg.mem.writersBlock);
+    cfg.setMode(CommitMode::OooSafe);
+    EXPECT_FALSE(cfg.core.lockdown);
+    EXPECT_FALSE(cfg.mem.writersBlock);
+    cfg.setMode(CommitMode::InOrder);
+    EXPECT_FALSE(cfg.core.lockdown);
+    EXPECT_FALSE(cfg.mem.writersBlock);
+}
+
+TEST(Config, ModeAndClassNames)
+{
+    EXPECT_STREQ(commitModeName(CommitMode::InOrder), "in-order");
+    EXPECT_STREQ(commitModeName(CommitMode::OooSafe), "ooo-safe");
+    EXPECT_STREQ(commitModeName(CommitMode::OooWB),
+                 "ooo-writersblock");
+    EXPECT_STREQ(commitModeName(CommitMode::OooUnsafe),
+                 "ooo-unsafe");
+    EXPECT_STREQ(coreClassName(CoreClass::SLM), "SLM");
+    EXPECT_STREQ(coreClassName(CoreClass::NHM), "NHM");
+    EXPECT_STREQ(coreClassName(CoreClass::HSW), "HSW");
+}
+
+} // namespace wb

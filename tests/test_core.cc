@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Core-model unit tests: store-to-load forwarding, branch and
+ * memory-dependence speculation, LDT behaviour, commit disciplines.
+ * Each test runs a small program on a 1-2 core system and checks
+ * architectural results plus the relevant microarchitectural
+ * counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/func_sim.hh"
+#include "system/system.hh"
+#include "workload/common.hh"
+#include "workload/synthetic.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+SystemConfig
+cfg1(CommitMode mode = CommitMode::InOrder)
+{
+    SystemConfig c;
+    c.numCores = 1;
+    c.maxCycles = 4'000'000;
+    c.setMode(mode);
+    return c;
+}
+
+std::uint64_t
+stat(System &sys, const std::string &name)
+{
+    return sys.stats().counterValue(name);
+}
+
+} // namespace
+
+TEST(Core, StoreToLoadForwarding)
+{
+    // A load immediately after a store to the same address must get
+    // the store's value from the SQ/SB, long before the store
+    // performs (the line is not even cached yet).
+    ProgramBuilder b;
+    b.li(1, std::int64_t(layout::sharedBase));
+    b.li(2, 4242);
+    b.st(1, 2);
+    b.ld(3, 1);
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+    System sys(cfg1(), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(sys.core(0).regValue(3), 4242u);
+    EXPECT_GE(stat(sys, "core.0.forwardedLoads"), 1u);
+}
+
+TEST(Core, ForwardingPicksYoungestMatch)
+{
+    ProgramBuilder b;
+    b.li(1, std::int64_t(layout::sharedBase));
+    b.li(2, 1);
+    b.li(3, 2);
+    b.st(1, 2); // older store: 1
+    b.st(1, 3); // younger store: 2
+    b.ld(4, 1); // must see 2
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+    System sys(cfg1(), wl);
+    ASSERT_TRUE(sys.run().completed);
+    EXPECT_EQ(sys.core(0).regValue(4), 2u);
+}
+
+TEST(Core, MemoryDependenceSpeculationRepairs)
+{
+    // The store's address depends on a cache-missing load, so the
+    // younger load issues speculatively, reads stale data, and must
+    // be squashed and re-executed when the store resolves.
+    ProgramBuilder b;
+    b.li(1, std::int64_t(layout::sharedBase));         // slow ptr
+    b.li(2, std::int64_t(layout::sharedBase) + 0x800); // target
+    b.li(3, 77);
+    b.ld(4, 1);    // cache miss: returns sharedBase+0x800 (poked)
+    b.st(4, 3);    // address unknown until the load returns
+    b.ld(5, 2);    // same address: must see 77, not stale 0
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+    wl.initMem.emplace_back(layout::sharedBase,
+                            layout::sharedBase + 0x800);
+    System sys(cfg1(CommitMode::InOrder), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(sys.core(0).regValue(5), 77u);
+    EXPECT_EQ(r.tsoViolations, 0u);
+}
+
+TEST(Core, BranchMispredictionsAreRepaired)
+{
+    // Data-dependent branch pattern with an accumulating result: a
+    // wrong-path leak would change the final value.
+    ProgramBuilder b;
+    b.li(1, 0);    // i
+    b.li(2, 200);  // limit
+    b.li(3, 0);    // acc
+    b.li(4, 12345);
+    auto loop = b.newLabel();
+    auto skip = b.newLabel();
+    b.bind(loop);
+    b.mul(4, 4, 4);
+    b.andi(5, 4, 0x10);
+    b.beq(5, 0, skip);
+    b.addi(3, 3, 1); // taken path increments
+    b.bind(skip);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+
+    FuncSim fs(wl);
+    ASSERT_TRUE(fs.run());
+
+    for (CommitMode mode : {CommitMode::InOrder, CommitMode::OooWB}) {
+        System sys(cfg1(mode), wl);
+        SimResults r = sys.run();
+        ASSERT_TRUE(r.completed);
+        EXPECT_EQ(sys.core(0).regValue(3), fs.readReg(0, 3))
+            << commitModeName(mode);
+    }
+}
+
+TEST(Core, LdtZeroDisablesReorderedCommit)
+{
+    SyntheticParams p;
+    p.iterations = 40;
+    p.privateWords = 1 << 14; // force misses
+    p.memRatio = 0.5;
+    p.sharedRatio = 0.0;
+    p.lockRatio = 0.0;
+    p.seed = 3;
+    Workload wl = makeSynthetic(p, 1);
+
+    SystemConfig with_ldt = cfg1(CommitMode::OooWB);
+    System s1(with_ldt, wl);
+    ASSERT_TRUE(s1.run().completed);
+    EXPECT_GT(stat(s1, "core.0.ldtExports"), 0u);
+
+    SystemConfig no_ldt = cfg1(CommitMode::OooWB);
+    no_ldt.core.ldtSize = 0;
+    System s2(no_ldt, wl);
+    ASSERT_TRUE(s2.run().completed);
+    EXPECT_EQ(stat(s2, "core.0.ldtExports"), 0u);
+}
+
+TEST(Core, OooCommitNeverExceedsLdtBound)
+{
+    SyntheticParams p;
+    p.iterations = 60;
+    p.privateWords = 1 << 14;
+    p.sharedRatio = 0.0;
+    p.lockRatio = 0.0;
+    p.seed = 8;
+    Workload wl = makeSynthetic(p, 1);
+    SystemConfig c = cfg1(CommitMode::OooWB);
+    c.core.ldtSize = 2;
+    System sys(c, wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.tsoViolations, 0u);
+    // Fewer exports possible than with a big LDT, never unsafe.
+}
+
+TEST(Core, InOrderIpcBoundedByWidth)
+{
+    ProgramBuilder b;
+    b.li(1, 0);
+    for (int i = 0; i < 4000; ++i)
+        b.addi(1, 1, 1);
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+    System sys(cfg1(), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // commit width 4: at least instructions/4 cycles.
+    EXPECT_GE(r.cycles, r.instructions / 4);
+}
+
+TEST(Core, SerialDependenceChainLimitsIpc)
+{
+    // mul chain: 3 cycles each, fully serial.
+    ProgramBuilder b;
+    b.li(1, 3);
+    for (int i = 0; i < 1000; ++i)
+        b.mul(1, 1, 1);
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+    System sys(cfg1(), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(r.cycles, 3000u); // >= chain latency
+}
+
+TEST(Core, StallAttributionCoversStalls)
+{
+    SyntheticParams p;
+    p.iterations = 40;
+    p.privateWords = 1 << 14;
+    p.seed = 12;
+    Workload wl = makeSynthetic(p, 1);
+    System sys(cfg1(), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_LE(r.stallRob + r.stallLq + r.stallSq + r.stallOther,
+              r.coreCycles);
+    EXPECT_GT(r.stallRob + r.stallLq + r.stallSq + r.stallOther,
+              0u);
+}
+
+TEST(Core, AtomicActsAsLoadBarrier)
+{
+    // ld after amoswap to the same word must observe the swap.
+    ProgramBuilder b;
+    b.li(1, std::int64_t(layout::sharedBase));
+    b.li(2, 9);
+    b.amoswap(3, 1, 2); // [base]=9, r3=0
+    b.ld(4, 1);         // must be 9
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+    for (CommitMode mode :
+         {CommitMode::InOrder, CommitMode::OooSafe,
+          CommitMode::OooWB}) {
+        System sys(cfg1(mode), wl);
+        ASSERT_TRUE(sys.run().completed);
+        EXPECT_EQ(sys.core(0).regValue(3), 0u);
+        EXPECT_EQ(sys.core(0).regValue(4), 9u);
+    }
+}
+
+TEST(Core, FenceDrainsStoreBufferBeforeLaterLoads)
+{
+    // st [A]; fence; ld [B] — the load must not issue before the
+    // store performed, so the fence costs at least the store's
+    // write-permission round trip.
+    ProgramBuilder fast;
+    fast.li(1, std::int64_t(layout::sharedBase));
+    fast.li(2, std::int64_t(layout::sharedBase) + 0x1000);
+    fast.li(3, 7);
+    fast.st(1, 3);
+    fast.ld(4, 2);
+    fast.halt();
+    ProgramBuilder fenced;
+    fenced.li(1, std::int64_t(layout::sharedBase));
+    fenced.li(2, std::int64_t(layout::sharedBase) + 0x1000);
+    fenced.li(3, 7);
+    fenced.st(1, 3);
+    fenced.fence();
+    fenced.ld(4, 2);
+    fenced.halt();
+
+    Workload a, b;
+    a.threads.push_back(fast.take());
+    b.threads.push_back(fenced.take());
+    System s1(cfg1(CommitMode::OooWB), a);
+    System s2(cfg1(CommitMode::OooWB), b);
+    SimResults r1 = s1.run();
+    SimResults r2 = s2.run();
+    ASSERT_TRUE(r1.completed && r2.completed);
+    EXPECT_GT(r2.cycles, r1.cycles)
+        << "fence did not serialise the store with the load";
+    EXPECT_EQ(s2.core(0).regValue(4), 0u);
+}
+
+TEST(Core, HaltDrainsStoreBuffer)
+{
+    ProgramBuilder b;
+    b.li(1, std::int64_t(layout::sharedBase));
+    b.li(2, 31);
+    b.st(1, 2);
+    b.halt();
+    Workload wl;
+    wl.threads.push_back(b.take());
+    System sys(cfg1(), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // done() requires the SB drained: the store must be visible.
+    EXPECT_EQ(sys.peekCoherent(layout::sharedBase), 31u);
+}
+
+TEST(Core, InOrderIssueMatchesReferenceAndIsSlower)
+{
+    SyntheticParams p;
+    p.iterations = 30;
+    p.bodyOps = 30;
+    p.privateWords = 1 << 13;
+    p.sharedRatio = 0.0;
+    p.lockRatio = 0.0;
+    p.seed = 44;
+    Workload wl = makeSynthetic(p, 1);
+    FuncSim fs(wl);
+    ASSERT_TRUE(fs.run());
+
+    SystemConfig ooo = cfg1();
+    System s1(ooo, wl);
+    SimResults r1 = s1.run();
+    ASSERT_TRUE(r1.completed);
+
+    SystemConfig stall_on_use = cfg1();
+    stall_on_use.core.inOrderIssue = true;
+    System s2(stall_on_use, wl);
+    SimResults r2 = s2.run();
+    ASSERT_TRUE(r2.completed);
+
+    for (Reg reg = 1; reg < 16; ++reg) {
+        EXPECT_EQ(s1.core(0).regValue(reg), fs.readReg(0, reg));
+        EXPECT_EQ(s2.core(0).regValue(reg), fs.readReg(0, reg));
+    }
+    // Stall-on-use cannot beat full OoO issue.
+    EXPECT_GE(r2.cycles, r1.cycles);
+}
+
+TEST(Core, Ev5StyleCoreWithLockdownsStaysTsoCorrect)
+{
+    // The paper's first motivating use case: an in-order-issue,
+    // stall-on-use core with early commit of loads. With a lockdown
+    // core + WritersBlock protocol and in-order commit, reordered
+    // (hit-under-miss) loads never squash and TSO holds.
+    SyntheticParams p;
+    p.iterations = 40;
+    p.privateWords = 1024;
+    p.sharedWords = 256;
+    p.sharedRatio = 0.35;
+    p.storeRatio = 0.35;
+    p.hotRatio = 0.3;
+    p.hotWords = 32;
+    p.seed = 45;
+    Workload wl = makeSynthetic(p, 4);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.network = NetworkKind::Ideal;
+    cfg.ideal.jitter = 10;
+    cfg.maxCycles = 20'000'000;
+    cfg.setMode(CommitMode::InOrder);
+    cfg.core.inOrderIssue = true;
+    cfg.core.lockdown = true;      // ECL: no squash machinery used
+    cfg.mem.writersBlock = true;
+    System sys(cfg, wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed) << "deadlocked=" << r.deadlocked;
+    EXPECT_EQ(r.tsoViolations, 0u);
+    EXPECT_EQ(r.squashInv, 0u) << "lockdown core must not squash "
+                                  "for consistency";
+}
+
+TEST(Core, SquashReleasesLockdowns)
+{
+    // Lockdown-capable core under branch-heavy, miss-heavy load:
+    // squashes must not leak lockdown registry entries (the run
+    // would otherwise deadlock behind a permanently blocked write).
+    SyntheticParams p;
+    p.iterations = 60;
+    p.privateWords = 1 << 13;
+    p.sharedWords = 256;
+    p.sharedRatio = 0.4;
+    p.storeRatio = 0.4;
+    p.branchRatio = 0.25;
+    p.unpredictable = 0.8;
+    p.lockRatio = 0.0;
+    p.seed = 21;
+    Workload wl = makeSynthetic(p, 2);
+    SystemConfig c = cfg1(CommitMode::OooWB);
+    c.numCores = 2;
+    System sys(c, wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed) << "deadlocked=" << r.deadlocked;
+    EXPECT_EQ(r.tsoViolations, 0u);
+}
+
+} // namespace wb

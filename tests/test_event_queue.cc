@@ -1,0 +1,82 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace wb
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(3); },
+                EventPriority::Late);
+    eq.schedule(5, [&] { order.push_back(1); },
+                EventPriority::Delivery);
+    eq.schedule(5, [&] { order.push_back(2); },
+                EventPriority::Delivery);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(15, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 5)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runAll();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 4u);
+}
+
+TEST(EventQueue, NextTickReportsHead)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    eq.schedule(42, [] {});
+    EXPECT_EQ(eq.nextTick(), 42u);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(Tick(i), [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+} // namespace wb

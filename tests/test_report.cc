@@ -1,0 +1,66 @@
+/** @file Tests for the JSON result reporter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/report.hh"
+#include "workload/litmus.hh"
+
+namespace wb
+{
+
+TEST(Report, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Report, RunReportContainsKeyFields)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 100);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.setMode(CommitMode::OooWB);
+    System sys(cfg, wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+
+    std::ostringstream os;
+    writeJsonReport(os, wl.name, cfg, r, &sys.stats());
+    const std::string j = os.str();
+
+    EXPECT_NE(j.find("\"workload\":\"table1-mp\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"commitMode\":\"ooo-writersblock\""),
+              std::string::npos);
+    EXPECT_NE(j.find("\"completed\":true"), std::string::npos);
+    EXPECT_NE(j.find("\"tsoViolations\":0"), std::string::npos);
+    EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
+    EXPECT_NE(j.find("core.0.commits"), std::string::npos);
+    // Balanced braces (cheap structural sanity).
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(Report, OmitsCountersWhenNotRequested)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 20);
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.setMode(CommitMode::InOrder);
+    System sys(cfg, wl);
+    SimResults r = sys.run();
+    std::ostringstream os;
+    writeJsonReport(os, wl.name, cfg, r, nullptr);
+    EXPECT_EQ(os.str().find("\"counters\""), std::string::npos);
+}
+
+} // namespace wb

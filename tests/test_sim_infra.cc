@@ -1,0 +1,130 @@
+/** @file Unit tests for stats, RNG, and logging infrastructure. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace wb
+{
+
+TEST(Stats, CounterBasics)
+{
+    StatRegistry reg;
+    StatGroup g(&reg, "unit");
+    Counter &c = g.counter("events");
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    EXPECT_EQ(reg.counterValue("unit.events"), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, SumCountersBySuffix)
+{
+    StatRegistry reg;
+    StatGroup a(&reg, "core.0");
+    StatGroup b(&reg, "core.1");
+    a.counter("commits") += 10;
+    b.counter("commits") += 32;
+    a.counter("other") += 5;
+    EXPECT_EQ(reg.sumCounters(".commits"), 42u);
+    EXPECT_EQ(reg.counterValue("core.9.commits"), 0u);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    StatRegistry reg;
+    StatGroup g(&reg, "unit");
+    Histogram &h = g.histogram("lat");
+    h.sample(1);
+    h.sample(3);
+    h.sample(8);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.minValue(), 1u);
+    EXPECT_EQ(h.maxValue(), 8u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Stats, GroupUnregistersOnDestruction)
+{
+    StatRegistry reg;
+    {
+        StatGroup g(&reg, "gone");
+        g.counter("x");
+        EXPECT_NE(reg.find("gone.x"), nullptr);
+    }
+    EXPECT_EQ(reg.find("gone.x"), nullptr);
+}
+
+TEST(Stats, DumpIsSorted)
+{
+    StatRegistry reg;
+    StatGroup g(&reg, "z");
+    StatGroup g2(&reg, "a");
+    g.counter("one") += 1;
+    g2.counter("two") += 2;
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_LT(out.find("a.two"), out.find("z.one"));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(10), 10u);
+        const std::uint64_t v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Log, PanicThrows)
+{
+    EXPECT_THROW(panic("boom %d", 7), std::logic_error);
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+}
+
+TEST(Log, TraceFlagGating)
+{
+    Trace::disableAll();
+    EXPECT_FALSE(Trace::active(LogFlag::Cache));
+    Trace::enable(LogFlag::Cache);
+    EXPECT_TRUE(Trace::active(LogFlag::Cache));
+    EXPECT_FALSE(Trace::active(LogFlag::Core));
+    Trace::disableAll();
+}
+
+} // namespace wb

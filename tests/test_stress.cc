@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Randomised multicore stress and property tests.
+ *
+ * Properties verified on every run:
+ *  1. the run completes (no deadlock, no livelock — the paper's
+ *     deadlock-freedom argument, Sections 3.5/3.6);
+ *  2. the dynamic TSO checker stays clean (load->load order and
+ *     write serialisation);
+ *  3. lock-protected shared counters end with the exact expected
+ *     value (mutual exclusion through the full protocol stack).
+ *
+ * Configurations deliberately shrink caches, MSHRs and the eviction
+ * buffer and add network jitter so that recalls, WritersBlock-under-
+ * eviction, tear-off fallbacks and MSHR-partitioning paths all fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "system/system.hh"
+#include "workload/common.hh"
+#include "workload/synthetic.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+SystemConfig
+stressConfig(CommitMode mode, std::uint64_t seed, bool tiny_llc)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.network = NetworkKind::Ideal;
+    cfg.ideal.numNodes = 8;
+    cfg.ideal.baseLatency = 6;
+    cfg.ideal.jitter = 10;
+    cfg.ideal.seed = seed;
+    cfg.maxCycles = 40'000'000;
+    // Small structures stress replacement and resource partitioning.
+    cfg.mem.l1Size = 4 * 1024;
+    cfg.mem.l2Size = 8 * 1024;
+    cfg.mem.numMshrs = 4;
+    cfg.mem.wbBufferSize = 2;
+    if (tiny_llc) {
+        cfg.mem.llcBankSize = 16 * 1024;
+        cfg.mem.llcEvictionBuffer = 2;
+    }
+    cfg.setMode(mode);
+    return cfg;
+}
+
+SyntheticParams
+stressParams(std::uint64_t seed)
+{
+    SyntheticParams p;
+    p.name = "stress";
+    p.iterations = 60;
+    p.bodyOps = 30;
+    p.privateWords = 1024;
+    p.sharedWords = 256; // hot sharing
+    p.memRatio = 0.45;
+    p.storeRatio = 0.35;
+    p.sharedRatio = 0.35;
+    p.chainRatio = 0.15;
+    p.lockRatio = 0.02;
+    p.numLocks = 4;
+    p.branchRatio = 0.12;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+using StressParam = std::tuple<CommitMode, std::uint64_t, bool>;
+
+class StressSweep : public ::testing::TestWithParam<StressParam>
+{};
+
+TEST_P(StressSweep, CompletesWithoutTsoViolation)
+{
+    const auto [mode, seed, tiny_llc] = GetParam();
+    Workload wl = makeSynthetic(stressParams(seed), 8);
+    System sys(stressConfig(mode, seed, tiny_llc), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed)
+        << commitModeName(mode) << " seed " << seed
+        << " deadlocked=" << r.deadlocked
+        << " cycles=" << r.cycles;
+    EXPECT_EQ(r.tsoViolations, 0u)
+        << commitModeName(mode) << " seed " << seed;
+    EXPECT_GT(r.instructions, 0u);
+}
+
+namespace
+{
+
+std::string
+stressParamName(const ::testing::TestParamInfo<StressParam> &info)
+{
+    const CommitMode mode = std::get<0>(info.param);
+    const std::uint64_t seed = std::get<1>(info.param);
+    const bool tiny = std::get<2>(info.param);
+    std::string n;
+    switch (mode) {
+      case CommitMode::InOrder: n = "InOrder"; break;
+      case CommitMode::OooSafe: n = "OooSafe"; break;
+      case CommitMode::OooWB: n = "OooWB"; break;
+      default: n = "Other"; break;
+    }
+    n += "_s" + std::to_string(seed);
+    n += tiny ? "_tinyLLC" : "_bigLLC";
+    return n;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesSeeds, StressSweep,
+    ::testing::Combine(
+        ::testing::Values(CommitMode::InOrder, CommitMode::OooSafe,
+                          CommitMode::OooWB),
+        ::testing::Values(11ull, 22ull, 33ull, 44ull),
+        ::testing::Values(false, true)),
+    stressParamName);
+
+TEST(Stress, LockedCountersAreExact)
+{
+    // Every thread increments a set of shared counters under locks;
+    // the final values must be exact in every mode — this exercises
+    // atomics, SB drain, and the full invalidation path.
+    constexpr int kThreads = 8;
+    constexpr int kIters = 150;
+    auto make_thread = []() {
+        ProgramBuilder b;
+        b.li(1, 0);
+        b.li(2, kIters);
+        b.li(3, std::int64_t(layout::lockBase));
+        b.li(4, std::int64_t(layout::sharedBase));
+        b.li(5, 1);
+        auto loop = b.newLabel();
+        b.bind(loop);
+        // pick lock/counter by (i & 3)
+        b.andi(6, 1, 3);
+        b.li(7, lineBytes);
+        b.mul(6, 6, 7);
+        b.add(8, 3, 6); // lock addr
+        b.add(9, 4, 6); // counter addr
+        emitLockAcquire(b, 8, 10, 5);
+        b.ld(11, 9);
+        b.addi(11, 11, 1);
+        b.st(9, 11);
+        emitLockRelease(b, 8);
+        b.addi(1, 1, 1);
+        b.blt(1, 2, loop);
+        b.halt();
+        return b.take();
+    };
+    Workload wl;
+    wl.name = "locked-counters";
+    for (int t = 0; t < kThreads; ++t)
+        wl.threads.push_back(make_thread());
+
+    for (CommitMode mode :
+         {CommitMode::InOrder, CommitMode::OooSafe,
+          CommitMode::OooWB}) {
+        System sys(stressConfig(mode, 5, true), wl);
+        SimResults r = sys.run();
+        ASSERT_TRUE(r.completed) << commitModeName(mode);
+        EXPECT_EQ(r.tsoViolations, 0u);
+        // kThreads * kIters increments spread over 4 counters by
+        // (i & 3): mutual exclusion means not a single one is lost.
+        std::uint64_t sum = 0;
+        for (int c = 0; c < 4; ++c)
+            sum += sys.peekCoherent(layout::sharedBase +
+                                    Addr(c) * lineBytes);
+        EXPECT_EQ(sum, std::uint64_t(kThreads) * kIters)
+            << commitModeName(mode);
+    }
+}
+
+TEST(Stress, AtomicFetchAddIsExact)
+{
+    // No locks: every thread amoadds 1 to one shared word. The
+    // final version/value must equal the exact number of RMWs.
+    constexpr int kThreads = 8;
+    constexpr int kIters = 200;
+    auto make_thread = []() {
+        ProgramBuilder b;
+        b.li(1, 0);
+        b.li(2, kIters);
+        b.li(3, std::int64_t(layout::sharedBase));
+        b.li(4, 1);
+        auto loop = b.newLabel();
+        b.bind(loop);
+        b.amoadd(5, 3, 4);
+        b.addi(1, 1, 1);
+        b.blt(1, 2, loop);
+        b.halt();
+        return b.take();
+    };
+    Workload wl;
+    wl.name = "fetch-add";
+    for (int t = 0; t < kThreads; ++t)
+        wl.threads.push_back(make_thread());
+
+    for (CommitMode mode :
+         {CommitMode::InOrder, CommitMode::OooWB}) {
+        System sys(stressConfig(mode, 9, false), wl);
+        SimResults r = sys.run();
+        ASSERT_TRUE(r.completed) << commitModeName(mode);
+        EXPECT_EQ(r.tsoViolations, 0u);
+        // The last thread to perform saw old value kThreads*kIters-1.
+        std::uint64_t max_seen = 0;
+        for (int t = 0; t < kThreads; ++t)
+            max_seen = std::max(max_seen, sys.core(t).regValue(5));
+        EXPECT_EQ(max_seen, std::uint64_t(kThreads * kIters - 1));
+        EXPECT_EQ(r.atomics, std::uint64_t(kThreads * kIters));
+    }
+}
+
+TEST(Stress, MeshNetworkStress)
+{
+    // Full 16-core mesh with the default Table 6 memory system.
+    SyntheticParams p = stressParams(77);
+    p.iterations = 40;
+    Workload wl = makeSynthetic(p, 16);
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    cfg.maxCycles = 40'000'000;
+    cfg.setMode(CommitMode::OooWB);
+    System sys(cfg, wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed) << "deadlocked=" << r.deadlocked;
+    EXPECT_EQ(r.tsoViolations, 0u);
+    EXPECT_GT(r.flitHops, 0u);
+}
+
+} // namespace wb

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * wbsim — command-line driver for the simulator.
+ *
+ * Run any benchmark profile or litmus on any machine configuration
+ * and inspect results, without writing C++:
+ *
+ *   wbsim --workload ocean_ncp --mode ooo-wb --class NHM
+ *   wbsim --workload table1 --mode ooo-unsafe --iters 3000
+ *   wbsim --list
+ *   wbsim --workload fft --mode in-order --dump-stats
+ *
+ * Exit code 0 on a completed, TSO-clean run; 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "system/report.hh"
+#include "system/system.hh"
+#include "workload/benchmarks.hh"
+#include "workload/litmus.hh"
+
+namespace
+{
+
+using namespace wb;
+
+void
+usage()
+{
+    std::printf(
+        "usage: wbsim [options]\n"
+        "  --workload NAME   benchmark profile (see --list) or a\n"
+        "                    litmus: table1, table3, sb,\n"
+        "                    sb-fence, lb, iriw, corr\n"
+        "  --mode M          in-order | ooo-safe | ooo-wb |\n"
+        "                    ooo-unsafe          (default ooo-wb)\n"
+        "  --class C         SLM | NHM | HSW     (default SLM)\n"
+        "  --cores N         number of cores     (default 16)\n"
+        "  --scale F         workload scale      (default 0.5)\n"
+        "  --iters N         litmus iterations   (default 2000)\n"
+        "  --network K       mesh | ideal        (default mesh)\n"
+        "  --jitter N        ideal-net jitter    (default 10)\n"
+        "  --seed N          workload seed override\n"
+        "  --no-checker      disable the TSO checker (faster)\n"
+        "  --non-silent      non-silent shared evictions\n"
+        "  --in-order-issue  stall-on-use (EV5/ECL-style) issue\n"
+        "  --ldt N           lockdown table size (default 32)\n"
+        "  --trace FLAGS     comma list: core,cache,dir,net,\n"
+        "                    lockdown,checker,commit\n"
+        "  --dump-stats      print every counter after the run\n"
+        "  --json FILE       write a JSON report (- for stdout)\n"
+        "  --list            list benchmark profiles and exit\n");
+}
+
+bool
+parseMode(const std::string &s, CommitMode &mode)
+{
+    if (s == "in-order")
+        mode = CommitMode::InOrder;
+    else if (s == "ooo-safe")
+        mode = CommitMode::OooSafe;
+    else if (s == "ooo-wb" || s == "ooo-writersblock")
+        mode = CommitMode::OooWB;
+    else if (s == "ooo-unsafe")
+        mode = CommitMode::OooUnsafe;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseClass(const std::string &s, CoreClass &cls)
+{
+    if (s == "SLM" || s == "slm")
+        cls = CoreClass::SLM;
+    else if (s == "NHM" || s == "nhm")
+        cls = CoreClass::NHM;
+    else if (s == "HSW" || s == "hsw")
+        cls = CoreClass::HSW;
+    else
+        return false;
+    return true;
+}
+
+void
+enableTrace(const std::string &flags)
+{
+    std::size_t pos = 0;
+    while (pos < flags.size()) {
+        std::size_t comma = flags.find(',', pos);
+        if (comma == std::string::npos)
+            comma = flags.size();
+        const std::string f = flags.substr(pos, comma - pos);
+        if (f == "core")
+            Trace::enable(LogFlag::Core);
+        else if (f == "cache")
+            Trace::enable(LogFlag::Cache);
+        else if (f == "dir")
+            Trace::enable(LogFlag::Directory);
+        else if (f == "net")
+            Trace::enable(LogFlag::Network);
+        else if (f == "lockdown")
+            Trace::enable(LogFlag::Lockdown);
+        else if (f == "checker")
+            Trace::enable(LogFlag::Checker);
+        else if (f == "commit")
+            Trace::enable(LogFlag::Commit);
+        else
+            std::fprintf(stderr, "unknown trace flag '%s'\n",
+                         f.c_str());
+        pos = comma + 1;
+    }
+}
+
+int
+litmusKindOf(const std::string &name, LitmusKind &kind)
+{
+    if (name == "table1")
+        kind = LitmusKind::Table1;
+    else if (name == "table3")
+        kind = LitmusKind::Table3;
+    else if (name == "sb")
+        kind = LitmusKind::StoreBuffer;
+    else if (name == "sb-fence")
+        kind = LitmusKind::StoreBufferFenced;
+    else if (name == "corr")
+        kind = LitmusKind::CoRR;
+    else if (name == "lb")
+        kind = LitmusKind::LoadBuffer;
+    else if (name == "iriw")
+        kind = LitmusKind::Iriw;
+    else
+        return 0;
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wb;
+
+    std::string workload = "ocean_ncp";
+    CommitMode mode = CommitMode::OooWB;
+    CoreClass cls = CoreClass::SLM;
+    int cores = 16;
+    double scale = 0.5;
+    int iters = 2000;
+    NetworkKind network = NetworkKind::Mesh;
+    Tick jitter = 10;
+    std::uint64_t seed = 0;
+    bool checker = true;
+    bool silent_evictions = true;
+    bool in_order_issue = false;
+    int ldt = 32;
+    bool dump_stats = false;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--workload")
+            workload = next();
+        else if (a == "--mode") {
+            if (!parseMode(next(), mode)) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--class") {
+            if (!parseClass(next(), cls)) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--cores")
+            cores = std::atoi(next());
+        else if (a == "--scale")
+            scale = std::atof(next());
+        else if (a == "--iters")
+            iters = std::atoi(next());
+        else if (a == "--network") {
+            const std::string n = next();
+            network = n == "ideal" ? NetworkKind::Ideal
+                                   : NetworkKind::Mesh;
+        } else if (a == "--jitter")
+            jitter = Tick(std::atoll(next()));
+        else if (a == "--seed")
+            seed = std::strtoull(next(), nullptr, 0);
+        else if (a == "--no-checker")
+            checker = false;
+        else if (a == "--non-silent")
+            silent_evictions = false;
+        else if (a == "--in-order-issue")
+            in_order_issue = true;
+        else if (a == "--ldt")
+            ldt = std::atoi(next());
+        else if (a == "--trace")
+            enableTrace(next());
+        else if (a == "--dump-stats")
+            dump_stats = true;
+        else if (a == "--json")
+            json_path = next();
+        else if (a == "--list") {
+            std::printf("benchmark profiles:\n");
+            for (const auto &n : benchmarkNames())
+                std::printf("  %s\n", n.c_str());
+            std::printf("litmus: table1 table3 sb corr\n");
+            return 0;
+        } else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 2;
+        }
+    }
+
+    // Build the workload.
+    Workload wl;
+    LitmusKind lk{};
+    const bool is_litmus = litmusKindOf(workload, lk);
+    if (is_litmus) {
+        wl = makeLitmus(lk, iters);
+        if (cores == 16)
+            cores = 4;
+    } else {
+        SyntheticParams p = benchmarkProfile(workload, scale);
+        if (seed)
+            p.seed = seed;
+        wl = makeSynthetic(p, cores);
+    }
+
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.core = makeCoreConfig(cls);
+    cfg.core.ldtSize = ldt;
+    cfg.core.inOrderIssue = in_order_issue;
+    cfg.network = network;
+    cfg.ideal.jitter = jitter;
+    cfg.checker = checker;
+    cfg.mem.silentSharedEvictions = silent_evictions;
+    if (network == NetworkKind::Mesh) {
+        // Smallest mesh that fits.
+        int w = 1;
+        while (w * w < cores)
+            ++w;
+        cfg.mesh.width = w;
+        cfg.mesh.height = (cores + w - 1) / w;
+    }
+    cfg.setMode(mode);
+    if (mode == CommitMode::OooUnsafe) {
+        cfg.core.lockdown = false;
+        cfg.mem.writersBlock = false;
+    }
+
+    std::printf("workload: %s\nconfig:   %s\n", wl.name.c_str(),
+                describeConfig(cfg).c_str());
+
+    System sys(cfg, wl);
+    SimResults r = sys.run();
+
+    std::printf("\n%-24s %llu\n", "cycles",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("%-24s %llu\n", "instructions",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("%-24s %.3f\n", "ipc (whole machine)",
+                r.cycles ? double(r.instructions) /
+                               double(r.cycles)
+                         : 0.0);
+    std::printf("%-24s %llu / %llu / %llu\n",
+                "loads/stores/atomics",
+                static_cast<unsigned long long>(r.loads),
+                static_cast<unsigned long long>(r.stores),
+                static_cast<unsigned long long>(r.atomics));
+    std::printf("%-24s %llu (%.3f per kilo-store)\n",
+                "writersblock delays",
+                static_cast<unsigned long long>(r.wbEntries),
+                r.wbPerKiloStore());
+    std::printf("%-24s %llu (%.3f per kilo-load)\n",
+                "uncacheable reads",
+                static_cast<unsigned long long>(
+                    r.uncacheableReads),
+                r.uncReadsPerKiloLoad());
+    std::printf("%-24s %llu set / %llu seen / %llu exported\n",
+                "lockdowns",
+                static_cast<unsigned long long>(r.lockdownsSet),
+                static_cast<unsigned long long>(r.lockdownsSeen),
+                static_cast<unsigned long long>(r.ldtExports));
+    std::printf("%-24s %llu branch / %llu dspec / %llu inv\n",
+                "squashes",
+                static_cast<unsigned long long>(r.squashBranch),
+                static_cast<unsigned long long>(r.squashDspec),
+                static_cast<unsigned long long>(r.squashInv));
+    std::printf("%-24s rob %llu / lq %llu / sq %llu / other %llu\n",
+                "stall cycles",
+                static_cast<unsigned long long>(r.stallRob),
+                static_cast<unsigned long long>(r.stallLq),
+                static_cast<unsigned long long>(r.stallSq),
+                static_cast<unsigned long long>(r.stallOther));
+    std::printf("%-24s %llu msgs, %llu flit-hops\n", "network",
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.flitHops));
+    std::printf("%-24s %s\n", "status",
+                r.deadlocked      ? "DEADLOCKED"
+                : !r.completed    ? "cycle cap reached"
+                                  : "completed");
+    if (checker)
+        std::printf("%-24s %s (%zu violations)\n", "tso checker",
+                    r.tsoViolations == 0 ? "clean" : "VIOLATED",
+                    r.tsoViolations);
+
+    if (is_litmus) {
+        std::printf("\nlitmus outcomes {first,second}:\n");
+        for (const auto &[pair, count] : countOutcomes(
+                 [&sys](Addr a) { return sys.peekCoherent(a); },
+                 iters))
+            std::printf("  {%llu,%llu} x %d%s\n",
+                        static_cast<unsigned long long>(pair.first),
+                        static_cast<unsigned long long>(
+                            pair.second),
+                        count,
+                        pair.first == 1 && pair.second == 0
+                            ? "  <-- ILLEGAL"
+                            : "");
+    }
+
+    if (dump_stats) {
+        std::printf("\n-- all counters --\n");
+        sys.stats().dump(std::cout);
+    }
+    if (!json_path.empty()) {
+        if (json_path == "-") {
+            writeJsonReport(std::cout, wl.name, cfg, r,
+                            &sys.stats());
+        } else {
+            std::ofstream jf(json_path);
+            if (!jf)
+                std::fprintf(stderr, "cannot open %s\n",
+                             json_path.c_str());
+            else
+                writeJsonReport(jf, wl.name, cfg, r, &sys.stats());
+        }
+    }
+    return (r.completed && r.tsoViolations == 0) ? 0 : 1;
+}
