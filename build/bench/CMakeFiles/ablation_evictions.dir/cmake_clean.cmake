@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_evictions.dir/ablation_evictions.cc.o"
+  "CMakeFiles/ablation_evictions.dir/ablation_evictions.cc.o.d"
+  "ablation_evictions"
+  "ablation_evictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_evictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ldt.dir/ablation_ldt.cc.o"
+  "CMakeFiles/ablation_ldt.dir/ablation_ldt.cc.o.d"
+  "ablation_ldt"
+  "ablation_ldt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ldt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_network.dir/ablation_network.cc.o"
+  "CMakeFiles/ablation_network.dir/ablation_network.cc.o.d"
+  "ablation_network"
+  "ablation_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

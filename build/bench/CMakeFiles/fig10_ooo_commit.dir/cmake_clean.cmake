@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ooo_commit.dir/fig10_ooo_commit.cc.o"
+  "CMakeFiles/fig10_ooo_commit.dir/fig10_ooo_commit.cc.o.d"
+  "fig10_ooo_commit"
+  "fig10_ooo_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ooo_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_wb_rates.dir/fig8_wb_rates.cc.o"
+  "CMakeFiles/fig8_wb_rates.dir/fig8_wb_rates.cc.o.d"
+  "fig8_wb_rates"
+  "fig8_wb_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wb_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

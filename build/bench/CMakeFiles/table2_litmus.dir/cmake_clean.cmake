@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_litmus.dir/table2_litmus.cc.o"
+  "CMakeFiles/table2_litmus.dir/table2_litmus.cc.o.d"
+  "table2_litmus"
+  "table2_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

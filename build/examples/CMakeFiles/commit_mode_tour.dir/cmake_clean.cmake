@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_mode_tour.dir/commit_mode_tour.cc.o"
+  "CMakeFiles/commit_mode_tour.dir/commit_mode_tour.cc.o.d"
+  "commit_mode_tour"
+  "commit_mode_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_mode_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

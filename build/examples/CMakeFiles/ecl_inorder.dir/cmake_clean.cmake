@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecl_inorder.dir/ecl_inorder.cc.o"
+  "CMakeFiles/ecl_inorder.dir/ecl_inorder.cc.o.d"
+  "ecl_inorder"
+  "ecl_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecl_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

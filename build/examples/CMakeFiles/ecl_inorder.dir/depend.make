@@ -1,0 +1,2 @@
+# Empty dependencies file for ecl_inorder.
+# This may be replaced when dependencies are built.

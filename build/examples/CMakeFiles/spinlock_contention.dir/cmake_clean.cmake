@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinlock_contention.dir/spinlock_contention.cc.o"
+  "CMakeFiles/spinlock_contention.dir/spinlock_contention.cc.o.d"
+  "spinlock_contention"
+  "spinlock_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinlock_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_checker.dir/tso_checker.cc.o"
+  "CMakeFiles/wb_checker.dir/tso_checker.cc.o.d"
+  "libwb_checker.a"
+  "libwb_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/l1_controller.cc" "src/coherence/CMakeFiles/wb_coherence.dir/l1_controller.cc.o" "gcc" "src/coherence/CMakeFiles/wb_coherence.dir/l1_controller.cc.o.d"
+  "/root/repo/src/coherence/llc_bank.cc" "src/coherence/CMakeFiles/wb_coherence.dir/llc_bank.cc.o" "gcc" "src/coherence/CMakeFiles/wb_coherence.dir/llc_bank.cc.o.d"
+  "/root/repo/src/coherence/messages.cc" "src/coherence/CMakeFiles/wb_coherence.dir/messages.cc.o" "gcc" "src/coherence/CMakeFiles/wb_coherence.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/wb_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_coherence.dir/l1_controller.cc.o"
+  "CMakeFiles/wb_coherence.dir/l1_controller.cc.o.d"
+  "CMakeFiles/wb_coherence.dir/llc_bank.cc.o"
+  "CMakeFiles/wb_coherence.dir/llc_bank.cc.o.d"
+  "CMakeFiles/wb_coherence.dir/messages.cc.o"
+  "CMakeFiles/wb_coherence.dir/messages.cc.o.d"
+  "libwb_coherence.a"
+  "libwb_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/wb_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/wb_core.dir/config.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/wb_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/wb_core.dir/core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/wb_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/wb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/wb_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/wb_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_core.dir/config.cc.o"
+  "CMakeFiles/wb_core.dir/config.cc.o.d"
+  "CMakeFiles/wb_core.dir/core.cc.o"
+  "CMakeFiles/wb_core.dir/core.cc.o.d"
+  "libwb_core.a"
+  "libwb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/func_sim.cc" "src/isa/CMakeFiles/wb_isa.dir/func_sim.cc.o" "gcc" "src/isa/CMakeFiles/wb_isa.dir/func_sim.cc.o.d"
+  "/root/repo/src/isa/instr.cc" "src/isa/CMakeFiles/wb_isa.dir/instr.cc.o" "gcc" "src/isa/CMakeFiles/wb_isa.dir/instr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

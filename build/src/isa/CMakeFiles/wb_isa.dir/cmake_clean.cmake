@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_isa.dir/func_sim.cc.o"
+  "CMakeFiles/wb_isa.dir/func_sim.cc.o.d"
+  "CMakeFiles/wb_isa.dir/instr.cc.o"
+  "CMakeFiles/wb_isa.dir/instr.cc.o.d"
+  "libwb_isa.a"
+  "libwb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_network.dir/mesh.cc.o"
+  "CMakeFiles/wb_network.dir/mesh.cc.o.d"
+  "CMakeFiles/wb_network.dir/network.cc.o"
+  "CMakeFiles/wb_network.dir/network.cc.o.d"
+  "libwb_network.a"
+  "libwb_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwb_network.a"
+)

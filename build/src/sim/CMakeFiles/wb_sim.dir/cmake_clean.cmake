@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_sim.dir/event_queue.cc.o"
+  "CMakeFiles/wb_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/wb_sim.dir/log.cc.o"
+  "CMakeFiles/wb_sim.dir/log.cc.o.d"
+  "CMakeFiles/wb_sim.dir/stats.cc.o"
+  "CMakeFiles/wb_sim.dir/stats.cc.o.d"
+  "libwb_sim.a"
+  "libwb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_system.dir/report.cc.o"
+  "CMakeFiles/wb_system.dir/report.cc.o.d"
+  "CMakeFiles/wb_system.dir/system.cc.o"
+  "CMakeFiles/wb_system.dir/system.cc.o.d"
+  "libwb_system.a"
+  "libwb_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wb_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/wb_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/wb_workload.dir/litmus.cc.o"
+  "CMakeFiles/wb_workload.dir/litmus.cc.o.d"
+  "CMakeFiles/wb_workload.dir/synthetic.cc.o"
+  "CMakeFiles/wb_workload.dir/synthetic.cc.o.d"
+  "libwb_workload.a"
+  "libwb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

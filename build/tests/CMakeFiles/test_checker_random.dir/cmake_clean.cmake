@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_random.dir/test_checker_random.cc.o"
+  "CMakeFiles/test_checker_random.dir/test_checker_random.cc.o.d"
+  "test_checker_random"
+  "test_checker_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

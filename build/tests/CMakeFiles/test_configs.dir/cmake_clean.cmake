@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_configs.dir/test_configs.cc.o"
+  "CMakeFiles/test_configs.dir/test_configs.cc.o.d"
+  "test_configs"
+  "test_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus_extended.dir/test_litmus_extended.cc.o"
+  "CMakeFiles/test_litmus_extended.dir/test_litmus_extended.cc.o.d"
+  "test_litmus_extended"
+  "test_litmus_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

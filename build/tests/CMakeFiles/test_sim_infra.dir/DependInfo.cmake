@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_infra.cc" "tests/CMakeFiles/test_sim_infra.dir/test_sim_infra.cc.o" "gcc" "tests/CMakeFiles/test_sim_infra.dir/test_sim_infra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/wb_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/wb_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/wb_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/wb_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/wb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_infra.dir/test_sim_infra.cc.o"
+  "CMakeFiles/test_sim_infra.dir/test_sim_infra.cc.o.d"
+  "test_sim_infra"
+  "test_sim_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

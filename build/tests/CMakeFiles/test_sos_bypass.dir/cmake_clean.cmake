@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sos_bypass.dir/test_sos_bypass.cc.o"
+  "CMakeFiles/test_sos_bypass.dir/test_sos_bypass.cc.o.d"
+  "test_sos_bypass"
+  "test_sos_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sos_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_multi.dir/test_system_multi.cc.o"
+  "CMakeFiles/test_system_multi.dir/test_system_multi.cc.o.d"
+  "test_system_multi"
+  "test_system_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_single.dir/test_system_single.cc.o"
+  "CMakeFiles/test_system_single.dir/test_system_single.cc.o.d"
+  "test_system_single"
+  "test_system_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbsim.dir/wbsim.cc.o"
+  "CMakeFiles/wbsim.dir/wbsim.cc.o.d"
+  "wbsim"
+  "wbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
