@@ -189,6 +189,7 @@ L1Controller::issueLoad(InstSeqNum seq, Addr addr)
     Mshr &m = _mshrs[line];
     m.kind = Mshr::Kind::Read;
     m.line = line;
+    m.born = now();
     _ledger[seq] = "mshr-new";
     m.loads.push_back(WaitingLoad{seq, addr, now()});
     ++_getS;
@@ -215,6 +216,7 @@ L1Controller::maybePrefetch(Addr next_line)
     Mshr &m = _mshrs[next_line];
     m.kind = Mshr::Kind::Read;
     m.line = next_line;
+    m.born = now();
     // No waiting loads: the fill (or a dropped tear-off) is the
     // whole effect.
     ++_prefetches;
@@ -236,6 +238,7 @@ L1Controller::issueGetU(InstSeqNum seq, Addr addr)
     _sosMshr.emplace();
     _sosMshr->kind = Mshr::Kind::Unc;
     _sosMshr->line = lineOf(addr);
+    _sosMshr->born = now();
     _sosMshr->loads.push_back(WaitingLoad{seq, addr});
     ++_getU;
     send(make(CohType::GetU, lineOf(addr), home(lineOf(addr))));
@@ -327,6 +330,7 @@ L1Controller::requestWritePermission(Addr line)
     Mshr &m = _mshrs[line];
     m.kind = Mshr::Kind::Write;
     m.line = line;
+    m.born = now();
     const bool have_s = _array.find(line) != nullptr;
     m.upgrade = have_s;
     if (have_s) {
@@ -640,8 +644,9 @@ L1Controller::handleFwdGetS(CohMsg &m)
         have = true;
         retained = false;
     }
-    assert(have && "FwdGetS: no data at owner");
-    (void)have;
+    if (!have)
+        panic("L1 %d: FwdGetS without data, line %llx", _id,
+              static_cast<unsigned long long>(m.line));
 
     auto rsp = make(CohType::Data, m.line, m.requestor);
     auto *cr = static_cast<CohMsg *>(rsp.get());
@@ -739,7 +744,10 @@ void
 L1Controller::handleData(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    assert(it != _mshrs.end() && it->second.kind == Mshr::Kind::Read);
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Read)
+        panic("L1 %d: Data for line %llx without a read MSHR "
+              "(duplicate or misrouted response)",
+              _id, static_cast<unsigned long long>(m.line));
     Mshr &mshr = it->second;
     mshr.dataArrived = true;
     mshr.exclusive = m.exclusive;
@@ -763,8 +771,10 @@ void
 L1Controller::handleDataX(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    assert(it != _mshrs.end() &&
-           it->second.kind == Mshr::Kind::Write);
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write)
+        panic("L1 %d: DataX for line %llx without a write MSHR "
+              "(duplicate or misrouted response)",
+              _id, static_cast<unsigned long long>(m.line));
     Mshr &mshr = it->second;
     mshr.dataArrived = true;
     mshr.grantSeen = true;
@@ -780,14 +790,17 @@ void
 L1Controller::handleUpgradeAck(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    assert(it != _mshrs.end() &&
-           it->second.kind == Mshr::Kind::Write);
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write)
+        panic("L1 %d: UpgradeAck for line %llx without a write MSHR "
+              "(duplicate or misrouted response)",
+              _id, static_cast<unsigned long long>(m.line));
     Mshr &mshr = it->second;
     mshr.grantSeen = true;
     mshr.acksExpected = m.ackCount;
     // Data stays in the (still valid) local S copy.
-    assert(_array.find(m.line) &&
-           "UpgradeAck for a line we no longer hold");
+    if (!_array.find(m.line))
+        panic("L1 %d: UpgradeAck for line %llx we no longer hold",
+              _id, static_cast<unsigned long long>(m.line));
     maybeCompleteWrite(mshr);
 }
 
@@ -795,9 +808,9 @@ void
 L1Controller::handleAck(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    assert(it != _mshrs.end() &&
-           it->second.kind == Mshr::Kind::Write &&
-           "stray invalidation ack");
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write)
+        panic("L1 %d: stray invalidation ack for line %llx",
+              _id, static_cast<unsigned long long>(m.line));
     Mshr &mshr = it->second;
     ++mshr.acksReceived;
     maybeCompleteWrite(mshr);
@@ -811,7 +824,11 @@ L1Controller::maybeCompleteWrite(Mshr &m)
     const bool data_ok = m.upgrade ? true : m.dataArrived;
     if (!data_ok || m.acksReceived < m.acksExpected)
         return;
-    assert(m.acksReceived == m.acksExpected);
+    if (m.acksReceived != m.acksExpected)
+        panic("L1 %d: line %llx collected %d acks, expected %d "
+              "(duplicated ack?)",
+              _id, static_cast<unsigned long long>(m.line),
+              m.acksReceived, m.acksExpected);
     const Addr line = m.line;
     if (m.upgrade && _array.find(line)) {
         PrivLine *pl = _array.findAndTouch(line);
@@ -928,7 +945,9 @@ L1Controller::dumpState(std::ostream &os) const
            << " grant=" << m.grantSeen << " data=" << m.dataArrived
            << " acks=" << m.acksReceived << "/" << m.acksExpected
            << " fillPend=" << m.fillPending
-           << " waiters=" << m.loads.size() << "\n";
+           << " waiters=" << m.loads.size()
+           << " age=" << (now() > m.born ? now() - m.born : 0)
+           << "\n";
     }
     if (_sosMshr)
         os << "  sosMshr line=" << std::hex << _sosMshr->line
@@ -941,6 +960,53 @@ L1Controller::dumpState(std::ostream &os) const
            << " n=" << v.size() << "\n";
     for (const auto &[seq, tag] : _ledger)
         os << "  ledger seq=" << seq << " state=" << tag << "\n";
+}
+
+std::vector<L1Controller::MshrInfo>
+L1Controller::mshrInfos(Tick now_tick) const
+{
+    std::vector<MshrInfo> out;
+    out.reserve(_mshrs.size() + 1);
+    auto push = [&](const Mshr &m) {
+        MshrInfo i;
+        i.line = m.line;
+        i.kind = m.kind == Mshr::Kind::Read    ? "read"
+                 : m.kind == Mshr::Kind::Write ? "write"
+                                               : "unc";
+        i.blocked = m.blocked;
+        i.grantSeen = m.grantSeen;
+        i.dataArrived = m.dataArrived;
+        i.fillPending = m.fillPending;
+        i.acksReceived = m.acksReceived;
+        i.acksExpected = m.acksExpected;
+        i.waiters = m.loads.size();
+        i.age = now_tick > m.born ? now_tick - m.born : 0;
+        out.push_back(i);
+    };
+    for (const auto &[line, m] : _mshrs)
+        push(m);
+    if (_sosMshr)
+        push(*_sosMshr);
+    std::sort(out.begin(), out.end(),
+              [](const MshrInfo &a, const MshrInfo &b) {
+                  return a.line < b.line;
+              });
+    return out;
+}
+
+Tick
+L1Controller::oldestTransactionAge(Tick now_tick) const
+{
+    Tick oldest = 0;
+    auto consider = [&](const Mshr &m) {
+        const Tick age = now_tick > m.born ? now_tick - m.born : 0;
+        oldest = std::max(oldest, age);
+    };
+    for (const auto &[line, m] : _mshrs)
+        consider(m);
+    if (_sosMshr)
+        consider(*_sosMshr);
+    return oldest;
 }
 
 void

@@ -139,8 +139,36 @@ class L1Controller : public SimObject
     /** Dump MSHR/writeback state (watchdog diagnostics). */
     void dumpState(std::ostream &os) const;
 
+    /** Structured view of one in-flight transaction (crash report /
+     *  per-MSHR age watchdog). */
+    struct MshrInfo
+    {
+        Addr line = 0;
+        const char *kind = "read"; //!< read | write | unc
+        bool blocked = false;
+        bool grantSeen = false;
+        bool dataArrived = false;
+        bool fillPending = false;
+        int acksReceived = 0;
+        int acksExpected = -1;
+        std::size_t waiters = 0;
+        Tick age = 0;
+    };
+
+    /** All live MSHRs (demand + reserved SoS entry), sorted by line
+     *  address so that reports are deterministic. */
+    std::vector<MshrInfo> mshrInfos(Tick now_tick) const;
+
+    /** Age of the oldest in-flight transaction; 0 when idle. */
+    Tick oldestTransactionAge(Tick now_tick) const;
+
     bool lineCached(Addr line) const { return _array.find(line); }
-    std::size_t pendingMshrs() const { return _mshrs.size(); }
+    std::size_t pendingMshrs() const
+    {
+        return _mshrs.size() + (_sosMshr ? 1 : 0);
+    }
+    /** Evicted dirty lines awaiting their WBAck. */
+    std::size_t writebackBufferUse() const { return _wbBuf.size(); }
 
     /** Functional debug read: true if the line is cached here, with
      *  the word value and whether this copy is writable (E/M). */
@@ -184,6 +212,7 @@ class L1Controller : public SimObject
         int acksExpected = -1;    //!< valid once grantSeen
         int acksReceived = 0;
         bool fillPending = false; //!< data done; allocation retries
+        Tick born = 0;            //!< allocation time (age watchdog)
         DataBlock data{};
         std::vector<WaitingLoad> loads;
     };

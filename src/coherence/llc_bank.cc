@@ -1,5 +1,6 @@
 #include "coherence/llc_bank.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -132,6 +133,50 @@ LLCBank::dumpState(std::ostream &os) const
     }
 }
 
+std::vector<LLCBank::TxnInfo>
+LLCBank::transientInfos(Tick now_tick) const
+{
+    std::vector<TxnInfo> out;
+    auto consider = [&](Addr line, const DirEntry &e, bool evb) {
+        const bool stable = e.state == DirState::I ||
+                            e.state == DirState::S ||
+                            e.state == DirState::EM;
+        if (stable && e.deferred.empty() && !evb)
+            return;
+        TxnInfo i;
+        i.line = line;
+        i.state = dirStateName(int(e.state));
+        i.owner = e.owner;
+        i.reqor = e.reqor;
+        i.recallPending = e.recallPending;
+        i.deferred = e.deferred.size();
+        i.evbuf = evb;
+        i.age = stable ? 0
+                       : (now_tick > e.busySince
+                              ? now_tick - e.busySince
+                              : 0);
+        out.push_back(i);
+    };
+    const_cast<CacheArray<DirEntry> &>(_array).forEach(
+        [&](Addr line, DirEntry &e) { consider(line, e, false); });
+    for (const auto &[line, e] : _evbuf)
+        consider(line, e, true);
+    std::sort(out.begin(), out.end(),
+              [](const TxnInfo &a, const TxnInfo &b) {
+                  return a.line < b.line;
+              });
+    return out;
+}
+
+Tick
+LLCBank::oldestTransactionAge(Tick now_tick) const
+{
+    Tick oldest = 0;
+    for (const TxnInfo &i : transientInfos(now_tick))
+        oldest = std::max(oldest, i.age);
+    return oldest;
+}
+
 void
 LLCBank::tick()
 {
@@ -249,6 +294,7 @@ LLCBank::grantRead(DirEntry &e, CohMsg &m, bool exclusive)
     send(std::move(rsp), _cfg.llcHitLatency);
 
     e.state = DirState::BusyRd;
+    e.busySince = now();
     e.reqor = m.src;
     e.grantExclusive = exclusive;
     e.copyDataPending = false;
@@ -269,6 +315,7 @@ LLCBank::handleGetS(DirEntry &e, CohMsg &m)
       case DirState::EM: {
         e.txnId = newTxn();
         e.state = DirState::BusyRd;
+        e.busySince = now();
         e.reqor = m.src;
         e.grantExclusive = false;
         e.copyDataPending = true;
@@ -379,6 +426,7 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
         cr->flits = dataFlits;
         send(std::move(rsp), _cfg.llcHitLatency);
         e.state = DirState::BusyWr;
+        e.busySince = now();
         e.reqor = writer;
         e.hintSent = false;
         return;
@@ -413,13 +461,17 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
             }
         }
         e.state = DirState::BusyWr;
+        e.busySince = now();
         e.reqor = writer;
         e.hintSent = false;
         return;
       }
       case DirState::EM: {
-        assert(e.owner != writer &&
-               "owner re-requesting write permission");
+        if (e.owner == writer)
+            panic("LLC %d: owner %d re-requesting write permission "
+                  "for line %llx (duplicate request?)",
+                  _id, writer,
+                  static_cast<unsigned long long>(m.line));
         e.txnId = newTxn();
         auto fwd = make(CohType::FwdGetX, m.line, e.owner);
         auto *cf = static_cast<CohMsg *>(fwd.get());
@@ -427,6 +479,7 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
         cf->txnId = e.txnId;
         send(std::move(fwd), _cfg.llcHitLatency);
         e.state = DirState::BusyWr;
+        e.busySince = now();
         e.reqor = writer;
         e.hintSent = false;
         return;
@@ -531,6 +584,7 @@ LLCBank::enterWritersBlock(DirEntry &e, Addr line, DirState st)
 {
     assert(st == DirState::WB || st == DirState::WBEvict);
     e.state = st;
+    e.busySince = now();
     ++_wbEntries;
 
     // Serve every deferred read immediately with tear-off data and
@@ -612,14 +666,20 @@ LLCBank::handleAckRelease(DirEntry &e, CohMsg &m)
         return;
       }
       case DirState::WBEvict:
-        assert(e.recallPending > 0);
+        if (e.recallPending <= 0)
+            panic("LLC %d: AckRelease for line %llx with no recall "
+                  "pending (duplicate release?)",
+                  _id, static_cast<unsigned long long>(m.line));
         if (--e.recallPending == 0)
             finishEviction(m.line);
         return;
       case DirState::Recalling:
         // Release overtook its Nack: account it, but do not finish
         // before the Nack (it may carry the owner's data).
-        assert(e.recallPending > 0);
+        if (e.recallPending <= 0)
+            panic("LLC %d: AckRelease for line %llx with no recall "
+                  "pending (duplicate release?)",
+                  _id, static_cast<unsigned long long>(m.line));
         --e.recallPending;
         return;
       default:
@@ -642,7 +702,10 @@ LLCBank::handleRecallAck(DirEntry &e, CohMsg &m)
         e.dirty = e.dirty || m.dirty;
         e.haveData = true;
     }
-    assert(e.recallPending > 0);
+    if (e.recallPending <= 0)
+        panic("LLC %d: RecallAck for line %llx with no recall "
+              "pending (duplicate ack?)",
+              _id, static_cast<unsigned long long>(m.line));
     if (--e.recallPending == 0)
         finishEviction(m.line);
 }
@@ -818,6 +881,7 @@ LLCBank::startRecall(DirEntry &e, Addr line)
     e.recallPending = std::popcount(targets);
     assert(e.recallPending > 0);
     e.state = DirState::Recalling;
+    e.busySince = now();
     for (int c = 0; c < 32; ++c) {
         if ((targets >> c) & 1) {
             auto rc = make(CohType::Recall, line, c);
@@ -858,6 +922,7 @@ void
 LLCBank::fetchFromMemory(DirEntry &e, Addr line)
 {
     e.state = DirState::BusyMem;
+    e.busySince = now();
     ++_memFetches;
     eventQueue().scheduleIn(
         _cfg.memLatency + _cfg.llcHitLatency, [this, line]() {

@@ -67,6 +67,29 @@ class LLCBank : public SimObject
     bool hasEntry(Addr line) const;
     bool inWritersBlock(Addr line) const;
     std::size_t evictionBufferUse() const { return _evbuf.size(); }
+    std::size_t retryQueueUse() const { return _retryQueue.size(); }
+
+    /** Structured view of one in-flight directory transaction
+     *  (crash report / transaction age watchdog). */
+    struct TxnInfo
+    {
+        Addr line = 0;
+        const char *state = "I";
+        int owner = -1;
+        int reqor = -1;
+        int recallPending = 0;
+        std::size_t deferred = 0;
+        bool evbuf = false;
+        Tick age = 0;
+    };
+
+    /** Every entry in a transient state (incl. WritersBlock and the
+     *  eviction buffer), sorted by line for deterministic reports. */
+    std::vector<TxnInfo> transientInfos(Tick now_tick) const;
+
+    /** Age of the oldest transient directory entry; 0 when all
+     *  entries are stable and no requests are parked for retry. */
+    Tick oldestTransactionAge(Tick now_tick) const;
 
     /** Functional debug read of the LLC copy (may be stale for EM
      *  lines). @return false if the line has no entry with data. */
@@ -98,6 +121,8 @@ class LLCBank : public SimObject
         int recallPending = 0;
         bool hintSent = false;
         bool evicting = false; //!< entry lives in the eviction buffer
+        Tick busySince = 0;    //!< last transition into a transient
+                               //!< state (transaction age watchdog)
         std::deque<MsgPtr> deferred;
     };
 

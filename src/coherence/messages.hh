@@ -105,6 +105,7 @@ struct CohMsg : NetMsg
     DataBlock data{};
 
     const char *kind() const override { return cohTypeName(type); }
+    std::uint64_t debugAddr() const override { return line; }
 };
 
 /** Allocate a coherence message with routing fields filled in. */

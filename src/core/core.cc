@@ -913,6 +913,31 @@ Core::dumpState(std::ostream &os) const
            << " count=" << li.count << " owed=" << li.owed << "\n";
 }
 
+Core::PipelineSnapshot
+Core::pipelineSnapshot() const
+{
+    PipelineSnapshot s;
+    s.pc = _pc;
+    s.halted = _halted;
+    s.commits = _commits;
+    s.rob = _rob.size();
+    s.iq = _iq.size();
+    s.lq = _lq.size();
+    s.sq = _sq.size();
+    s.sb = _sb.size();
+    s.ldt = _ldt.size();
+    s.robHead =
+        _rob.empty() ? invalidSeqNum : _rob.begin()->first;
+    s.frontier = _frontier;
+    for (const auto &[line, li] : _locks) {
+        if (li.count > 0)
+            ++s.locksHeld;
+        if (li.owed)
+            ++s.locksOwed;
+    }
+    return s;
+}
+
 InvResponse
 Core::coherenceInvalidation(Addr line)
 {

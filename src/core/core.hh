@@ -107,6 +107,25 @@ class Core : public SimObject, public CoreMemIf
     /** Dump pipeline state (watchdog diagnostics). */
     void dumpState(std::ostream &os) const;
 
+    /** Structured pipeline summary for crash reports. */
+    struct PipelineSnapshot
+    {
+        int pc = 0;
+        bool halted = false;
+        std::uint64_t commits = 0;
+        std::size_t rob = 0;
+        std::size_t iq = 0;
+        std::size_t lq = 0;
+        std::size_t sq = 0;
+        std::size_t sb = 0;
+        std::size_t ldt = 0;
+        InstSeqNum robHead = invalidSeqNum;
+        InstSeqNum frontier = invalidSeqNum;
+        std::size_t locksHeld = 0; //!< lines under active lockdown
+        std::size_t locksOwed = 0; //!< lines owing an AckRelease
+    };
+    PipelineSnapshot pipelineSnapshot() const;
+
     CoreId id() const { return _id; }
     std::size_t robOccupancy() const { return _rob.size(); }
     std::uint64_t regValue(Reg r) const { return _archRegs[r]; }

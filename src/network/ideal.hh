@@ -50,7 +50,7 @@ class IdealNetwork : public Network
                 lat += _rng.below(_cfg.jitter + 1);
             accountTraffic(*msg, 1);
         }
-        deliverAt(now() + lat, std::move(msg));
+        inject(now() + lat, std::move(msg));
     }
 
   private:

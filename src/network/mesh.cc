@@ -31,7 +31,7 @@ MeshNetwork::send(MsgPtr msg)
     if (msg->src == msg->dst) {
         // Node-internal transfer (core <-> its co-located LLC bank).
         accountTraffic(*msg, 0);
-        deliverAt(now() + _cfg.localLatency, std::move(msg));
+        inject(now() + _cfg.localLatency, std::move(msg));
         return;
     }
 
@@ -66,7 +66,7 @@ MeshNetwork::send(MsgPtr msg)
         t += _cfg.hopLatency;
         node = next;
     }
-    deliverAt(t, std::move(msg));
+    inject(t, std::move(msg));
 }
 
 } // namespace wb

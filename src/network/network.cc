@@ -11,7 +11,10 @@ Network::Network(std::string name, EventQueue *eq,
     : SimObject(std::move(name), eq, stats), _numNodes(num_nodes),
       _handlers(num_nodes),
       _messages(statGroup().counter("messages")),
-      _flitHops(statGroup().counter("flitHops"))
+      _flitHops(statGroup().counter("flitHops")),
+      _faultDropped(statGroup().counter("faultDropped")),
+      _faultDuplicated(statGroup().counter("faultDuplicated")),
+      _faultDelayed(statGroup().counter("faultDelayed"))
 {}
 
 void
@@ -21,8 +24,65 @@ Network::registerNode(int node, Handler handler)
     _handlers[std::size_t(node)] = std::move(handler);
 }
 
+std::size_t
+Network::inFlight() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, e] : _ledger)
+        if (!e.dropped)
+            ++n;
+    return n;
+}
+
+std::vector<Network::InFlightMsg>
+Network::undelivered() const
+{
+    std::vector<InFlightMsg> out;
+    out.reserve(_ledger.size());
+    for (const auto &[id, e] : _ledger)
+        out.push_back(e);
+    return out;
+}
+
 void
-Network::deliverAt(Tick when, MsgPtr msg)
+Network::inject(Tick when, MsgPtr msg)
+{
+    FaultDecision d;
+    if (_faults)
+        d = _faults->next();
+
+    auto record = [&](bool dropped) {
+        const std::uint64_t id = ++_nextMsgId;
+        InFlightMsg &e = _ledger[id];
+        e.id = id;
+        e.kind = msg->kind();
+        e.src = msg->src;
+        e.dst = msg->dst;
+        e.vnet = int(msg->vnet);
+        e.addr = msg->debugAddr();
+        e.injectedAt = now();
+        e.dropped = dropped;
+        return id;
+    };
+
+    if (d.drop) {
+        ++_faultDropped;
+        record(true); // permanent ledger entry: named in crash dumps
+        return;
+    }
+    if (d.extraDelay > 0)
+        ++_faultDelayed;
+    if (d.duplicate) {
+        ++_faultDuplicated;
+        const std::uint64_t dup_id = record(false);
+        deliverAt(when + d.extraDelay + d.dupOffset, msg, dup_id);
+    }
+    const std::uint64_t id = record(false);
+    deliverAt(when + d.extraDelay, std::move(msg), id);
+}
+
+void
+Network::deliverAt(Tick when, MsgPtr msg, std::uint64_t id)
 {
     assert(msg->dst >= 0 && msg->dst < _numNodes);
     assert(_handlers[std::size_t(msg->dst)] &&
@@ -30,7 +90,8 @@ Network::deliverAt(Tick when, MsgPtr msg)
     Handler *handler = &_handlers[std::size_t(msg->dst)];
     eventQueue().schedule(
         when,
-        [handler, m = std::move(msg)]() mutable {
+        [this, handler, id, m = std::move(msg)]() mutable {
+            _ledger.erase(id);
             (*handler)(std::move(m));
         },
         EventPriority::Delivery);

@@ -8,6 +8,12 @@
  * protocol deadlock; messages within and across virtual networks are
  * *not* ordered end-to-end — the property the paper assumes
  * ("general unordered interconnection network").
+ *
+ * Every injected message is tracked in an in-flight ledger until its
+ * delivery callback runs, so a leaked (never-delivered) message is
+ * detectable at end of run and nameable in a crash report. An
+ * optional FaultInjector is consulted per message to apply seeded
+ * delay spikes, duplication, reordering bursts, and drops.
  */
 
 #ifndef WB_NETWORK_NETWORK_HH
@@ -15,9 +21,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 
@@ -46,6 +54,10 @@ struct NetMsg
 
     /** Human-readable message kind, for traces. */
     virtual const char *kind() const { return "msg"; }
+
+    /** Address the message concerns (0 if not address-bearing);
+     *  used by the leak ledger and crash reports. */
+    virtual std::uint64_t debugAddr() const { return 0; }
 };
 
 /**
@@ -64,6 +76,21 @@ class Network : public SimObject
   public:
     using Handler = std::function<void(MsgPtr)>;
 
+    /** Ledger record of a message that has not (yet) been
+     *  delivered. `dropped` entries are permanent: the injector ate
+     *  the message and it can never arrive. */
+    struct InFlightMsg
+    {
+        std::uint64_t id = 0;
+        const char *kind = "msg";
+        int src = -1;
+        int dst = -1;
+        int vnet = 0;
+        std::uint64_t addr = 0;
+        Tick injectedAt = 0;
+        bool dropped = false;
+    };
+
     Network(std::string name, EventQueue *eq, StatRegistry *stats,
             int num_nodes);
 
@@ -75,6 +102,17 @@ class Network : public SimObject
     /** Inject a message; src/dst/vnet/flits must be set. */
     virtual void send(MsgPtr msg) = 0;
 
+    /** Attach a fault oracle (nullptr = fault-free). */
+    void setFaultInjector(FaultInjector *fi) { _faults = fi; }
+    const FaultInjector *faultInjector() const { return _faults; }
+
+    /** Messages injected but not yet delivered (excludes drops). */
+    std::size_t inFlight() const;
+
+    /** Every undelivered ledger entry, dropped ones included,
+     *  ordered by injection id (deterministic). */
+    std::vector<InFlightMsg> undelivered() const;
+
     /** Total flit-hops injected so far (traffic metric). */
     std::uint64_t flitHops() const { return _flitHops.value(); }
 
@@ -82,8 +120,14 @@ class Network : public SimObject
     std::uint64_t messages() const { return _messages.value(); }
 
   protected:
-    /** Schedule delivery of @p msg at absolute tick @p when. */
-    void deliverAt(Tick when, MsgPtr msg);
+    /**
+     * Delivery funnel: applies the fault decision for this message
+     * (drop / duplicate / extra delay), records it in the in-flight
+     * ledger, and schedules the handler invocation(s). Concrete
+     * networks call this instead of scheduling directly, with
+     * @p when = now + modelled latency.
+     */
+    void inject(Tick when, MsgPtr msg);
 
     /** Account traffic for a message travelling @p hops hops. */
     void
@@ -96,9 +140,19 @@ class Network : public SimObject
     int _numNodes;
 
   private:
+    /** Schedule one delivery of @p msg at absolute tick @p when;
+     *  the ledger entry @p id is retired when the handler runs. */
+    void deliverAt(Tick when, MsgPtr msg, std::uint64_t id);
+
     std::vector<Handler> _handlers;
+    FaultInjector *_faults = nullptr;
+    std::map<std::uint64_t, InFlightMsg> _ledger;
+    std::uint64_t _nextMsgId = 0;
     Counter &_messages;
     Counter &_flitHops;
+    Counter &_faultDropped;
+    Counter &_faultDuplicated;
+    Counter &_faultDelayed;
 };
 
 } // namespace wb

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the interconnect.
+ *
+ * The simulator's safety argument rests on surviving an adversarially
+ * unordered network; the fault injector turns that from an assumption
+ * into a test axis. Networks consult the injector once per injected
+ * message and apply the returned decision:
+ *
+ *  - delay spikes:  a single message is held for an extra uniform
+ *    number of cycles (stretches transaction interleavings);
+ *  - duplication:   a second copy of the message is delivered a few
+ *    cycles after the original (stresses idempotence / stale-message
+ *    filtering);
+ *  - reordering bursts: for a bounded run of consecutive messages,
+ *    each receives an independent random extra delay, maximising
+ *    pairwise inversions between messages of the same flow;
+ *  - drops:         the message is never delivered. Drops are for
+ *    negative testing only — a correct run cannot survive one, and
+ *    the harness asserts the result is a *clean, classified* deadlock
+ *    diagnosis (watchdog verdict + crash report), never a silent
+ *    hang.
+ *
+ * All randomness comes from one private xoshiro256** stream, so a
+ * given (seed, spec) pair replays bit-identically.
+ */
+
+#ifndef WB_SIM_FAULT_HH
+#define WB_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/** Fault-campaign parameters (see docs/RESILIENCE.md for grammar). */
+struct FaultConfig
+{
+    std::uint64_t seed = 1;
+
+    double delayProb = 0.0;   //!< per-message spike probability
+    Tick delayMax = 100;      //!< spike size: uniform [1, delayMax]
+
+    double dupProb = 0.0;     //!< per-message duplication probability
+    Tick dupOffsetMax = 8;    //!< copy delivered +uniform[1, max]
+
+    double reorderProb = 0.0; //!< probability a message opens a burst
+    unsigned reorderBurst = 8;//!< messages per burst
+    Tick reorderMax = 32;     //!< per-message extra delay in a burst
+
+    double dropProb = 0.0;    //!< per-message drop probability
+    unsigned dropMax = 16;    //!< total drop budget per run
+
+    /** @return true if any fault class is armed. */
+    bool
+    enabled() const
+    {
+        return delayProb > 0.0 || dupProb > 0.0 ||
+               reorderProb > 0.0 || dropProb > 0.0;
+    }
+
+    /** Canonical spec string (round-trips through parseFaultSpec). */
+    std::string spec() const;
+};
+
+/**
+ * Parse a fault spec of comma-separated key=value clauses:
+ *
+ *   seed=N            RNG seed (default 1)
+ *   delay=P[:MAX]     delay spike, prob P, extra uniform [1,MAX]
+ *   dup=P[:MAX]       duplication, copy arrives +uniform [1,MAX]
+ *   reorder=P[:B[:MAX]] burst of B messages, each +uniform [0,MAX]
+ *   drop=P[:MAX]      drop, at most MAX drops per run
+ *
+ * Example: "seed=7,delay=0.01:200,dup=0.005,drop=0.002:4"
+ *
+ * @return true on success; on failure @p err names the bad clause.
+ */
+bool parseFaultSpec(const std::string &spec, FaultConfig &out,
+                    std::string &err);
+
+/** Per-message verdict handed back to the network. */
+struct FaultDecision
+{
+    bool drop = false;    //!< never deliver
+    bool duplicate = false;
+    Tick extraDelay = 0;  //!< added to the modelled latency
+    Tick dupOffset = 0;   //!< duplicate arrives this much later
+};
+
+/** Seeded fault oracle; one instance per simulated system. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg)
+        : _cfg(cfg), _rng(cfg.seed)
+    {}
+
+    /** Decide the fate of the next injected message. */
+    FaultDecision
+    next()
+    {
+        FaultDecision d;
+        if (_burstLeft > 0) {
+            --_burstLeft;
+            d.extraDelay += _rng.below(_cfg.reorderMax + 1);
+            ++_reordered;
+        } else if (_cfg.reorderProb > 0.0 &&
+                   _rng.chance(_cfg.reorderProb)) {
+            _burstLeft = _cfg.reorderBurst;
+        }
+        if (_cfg.delayProb > 0.0 && _rng.chance(_cfg.delayProb)) {
+            d.extraDelay += 1 + _rng.below(_cfg.delayMax);
+            ++_delayed;
+        }
+        if (_cfg.dupProb > 0.0 && _rng.chance(_cfg.dupProb)) {
+            d.duplicate = true;
+            d.dupOffset = 1 + _rng.below(_cfg.dupOffsetMax);
+            ++_duplicated;
+        }
+        if (_cfg.dropProb > 0.0 && _dropped < _cfg.dropMax &&
+            _rng.chance(_cfg.dropProb)) {
+            d.drop = true;
+            ++_dropped;
+        }
+        return d;
+    }
+
+    const FaultConfig &config() const { return _cfg; }
+
+    // campaign accounting (also mirrored into network counters)
+    std::uint64_t dropped() const { return _dropped; }
+    std::uint64_t duplicated() const { return _duplicated; }
+    std::uint64_t delayed() const { return _delayed; }
+    std::uint64_t reordered() const { return _reordered; }
+
+  private:
+    FaultConfig _cfg;
+    Rng _rng;
+    unsigned _burstLeft = 0;
+    std::uint64_t _dropped = 0;
+    std::uint64_t _duplicated = 0;
+    std::uint64_t _delayed = 0;
+    std::uint64_t _reordered = 0;
+};
+
+} // namespace wb
+
+#endif // WB_SIM_FAULT_HH

@@ -1,0 +1,197 @@
+#include "system/crash_report.hh"
+
+#include <exception>
+#include <fstream>
+
+#include "system/json_writer.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+void
+writeCore(JsonWriter &w, int id, const Core::PipelineSnapshot &p)
+{
+    w.openObject();
+    w.field("core", std::uint64_t(id));
+    w.fieldSigned("pc", p.pc);
+    w.field("halted", p.halted);
+    w.field("commits", p.commits);
+    w.field("rob", std::uint64_t(p.rob));
+    w.field("iq", std::uint64_t(p.iq));
+    w.field("lq", std::uint64_t(p.lq));
+    w.field("sq", std::uint64_t(p.sq));
+    w.field("sb", std::uint64_t(p.sb));
+    w.field("ldt", std::uint64_t(p.ldt));
+    w.fieldSigned("robHead", p.robHead == invalidSeqNum
+                                 ? -1
+                                 : std::int64_t(p.robHead));
+    w.fieldSigned("frontier", p.frontier == invalidSeqNum
+                                  ? -1
+                                  : std::int64_t(p.frontier));
+    w.field("locksHeld", std::uint64_t(p.locksHeld));
+    w.field("locksOwed", std::uint64_t(p.locksOwed));
+    w.closeObject();
+}
+
+void
+writeMshr(JsonWriter &w, int l1, const L1Controller::MshrInfo &m)
+{
+    w.openObject();
+    w.field("l1", std::uint64_t(l1));
+    w.field("line", std::uint64_t(m.line));
+    w.field("kind", std::string(m.kind));
+    w.field("blocked", m.blocked);
+    w.field("grantSeen", m.grantSeen);
+    w.field("dataArrived", m.dataArrived);
+    w.field("fillPending", m.fillPending);
+    w.fieldSigned("acksReceived", m.acksReceived);
+    w.fieldSigned("acksExpected", m.acksExpected);
+    w.field("waiters", std::uint64_t(m.waiters));
+    w.field("age", std::uint64_t(m.age));
+    w.closeObject();
+}
+
+void
+writeTxn(JsonWriter &w, int bank, const LLCBank::TxnInfo &t)
+{
+    w.openObject();
+    w.field("bank", std::uint64_t(bank));
+    w.field("line", std::uint64_t(t.line));
+    w.field("state", std::string(t.state));
+    w.fieldSigned("owner", t.owner);
+    w.fieldSigned("reqor", t.reqor);
+    w.fieldSigned("recallPending", t.recallPending);
+    w.field("deferred", std::uint64_t(t.deferred));
+    w.field("evictionBuffer", t.evbuf);
+    w.field("age", std::uint64_t(t.age));
+    w.closeObject();
+}
+
+void
+writeMsg(JsonWriter &w, const Network::InFlightMsg &m)
+{
+    w.openObject();
+    w.field("id", m.id);
+    w.field("kind", std::string(m.kind));
+    w.fieldSigned("src", m.src);
+    w.fieldSigned("dst", m.dst);
+    w.fieldSigned("vnet", m.vnet);
+    w.field("line", m.addr);
+    w.field("injectedAt", std::uint64_t(m.injectedAt));
+    w.field("dropped", m.dropped);
+    w.closeObject();
+}
+
+} // namespace
+
+void
+writeCrashReport(std::ostream &os, System &sys,
+                 const std::string &verdict,
+                 const std::string &detail)
+{
+    JsonWriter w(os);
+    w.openObject();
+    w.field("schema", std::string("wbsim-crash-1"));
+    w.field("verdict", verdict);
+    w.field("detail", detail);
+    w.field("cycle", std::uint64_t(sys.cycle()));
+    w.field("deadlockReason", sys.deadlockReason());
+    w.field("commitMode", std::string(commitModeName(
+                              sys.config().core.commitMode)));
+
+    if (const FaultInjector *fi = sys.faultInjector()) {
+        w.openObject("faults");
+        w.field("spec", fi->config().spec());
+        w.field("seed", fi->config().seed);
+        w.field("dropped", fi->dropped());
+        w.field("duplicated", fi->duplicated());
+        w.field("delayed", fi->delayed());
+        w.field("reordered", fi->reordered());
+        w.closeObject();
+    }
+
+    w.openArray("cores");
+    for (int i = 0; i < sys.numCores(); ++i)
+        writeCore(w, i, sys.core(i).pipelineSnapshot());
+    w.closeArray();
+
+    w.openArray("mshrs");
+    for (int i = 0; i < sys.numCores(); ++i)
+        for (const auto &m : sys.l1(i).mshrInfos(sys.cycle()))
+            writeMshr(w, i, m);
+    w.closeArray();
+
+    w.openArray("directoryTransients");
+    for (int i = 0; i < sys.numCores(); ++i)
+        for (const auto &t : sys.llc(i).transientInfos(sys.cycle()))
+            writeTxn(w, i, t);
+    w.closeArray();
+
+    w.openArray("undeliveredMessages");
+    for (const auto &m : sys.network().undelivered())
+        writeMsg(w, m);
+    w.closeArray();
+
+    if (const TsoChecker *c = sys.checker()) {
+        w.openArray("tsoViolations");
+        for (const auto &v : c->violations()) {
+            w.openObject();
+            w.fieldSigned("core", v.core);
+            w.field("addr", std::uint64_t(v.addr));
+            w.field("version", std::uint64_t(v.version));
+            w.field("cycle", std::uint64_t(v.when));
+            w.field("what", v.what);
+            w.closeObject();
+        }
+        w.closeArray();
+    }
+
+    w.closeObject();
+    os << '\n';
+}
+
+ClassifiedRun
+runClassified(System &sys, const std::string &crash_dump_path)
+{
+    ClassifiedRun out;
+    try {
+        out.results = sys.run();
+        if (out.results.tsoViolations > 0) {
+            out.outcome = RunOutcome::TsoViolation;
+            out.verdict = "tso-violation";
+            out.detail = sys.checker()->violations().front().what;
+        } else if (out.results.deadlocked) {
+            out.outcome = RunOutcome::Deadlock;
+            out.verdict = "deadlock";
+            out.detail = out.results.deadlockReason;
+        } else if (!out.results.completed) {
+            // Ran into maxCycles: indistinguishable from a hang for
+            // campaign purposes, but labelled apart.
+            out.outcome = RunOutcome::Deadlock;
+            out.verdict = "cycle-cap";
+            out.detail = "maxCycles reached before completion";
+        }
+    } catch (const std::exception &e) {
+        // panic()/fatal() surface here; snapshot whatever state the
+        // machine wedged in.
+        out.results = sys.snapshot();
+        out.results.completed = false;
+        out.outcome = RunOutcome::Panic;
+        out.verdict = "panic";
+        out.detail = e.what();
+    }
+
+    if (out.outcome != RunOutcome::Ok && !crash_dump_path.empty()) {
+        std::ofstream dump(crash_dump_path);
+        if (dump) {
+            writeCrashReport(dump, sys, out.verdict, out.detail);
+            out.crashDumpWritten = dump.good();
+        }
+    }
+    return out;
+}
+
+} // namespace wb

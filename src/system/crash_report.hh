@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Structured crash reports and run classification.
+ *
+ * When a run ends abnormally — a hang detector fires, the TSO
+ * checker records a violation, or a panic() surfaces a protocol
+ * invariant break — the state that matters for triage is scattered
+ * across cores, MSHRs, directory entries, and the network ledger.
+ * writeCrashReport() serialises one deterministic JSON snapshot of
+ * all of it; runClassified() wraps System::run() to map every
+ * outcome (including thrown panics) onto a small exit-code taxonomy
+ * so scripted campaigns can sort results without parsing logs:
+ *
+ *   0  run completed, TSO-clean, no leaks
+ *   2  TSO violation detected by the checker
+ *   3  deadlock / hang / message leak / cycle cap
+ *   4  internal panic (simulator invariant broke)
+ */
+
+#ifndef WB_SYSTEM_CRASH_REPORT_HH
+#define WB_SYSTEM_CRASH_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "system/system.hh"
+
+namespace wb
+{
+
+/** Exit-code taxonomy for classified runs. */
+enum class RunOutcome : int
+{
+    Ok = 0,
+    TsoViolation = 2,
+    Deadlock = 3,
+    Panic = 4,
+};
+
+/** Everything runClassified() learned about one run. */
+struct ClassifiedRun
+{
+    RunOutcome outcome = RunOutcome::Ok;
+    /** Short machine-readable tag: "ok", "tso-violation",
+     *  "deadlock", "cycle-cap", "panic". */
+    std::string verdict = "ok";
+    /** Human-readable specifics (deadlock reason, panic text). */
+    std::string detail;
+    /** Results snapshot; valid even when the run ended early. */
+    SimResults results;
+    /** True iff a crash dump was requested and successfully opened. */
+    bool crashDumpWritten = false;
+
+    int exitCode() const { return static_cast<int>(outcome); }
+};
+
+/**
+ * Serialise a crash snapshot of @p sys as one JSON object:
+ * cycle, verdict/detail, fault campaign spec + injector counters,
+ * per-core pipeline state (ROB/LQ/SQ heads, lockdown + LDT sizes),
+ * every live L1 MSHR with its age, every transient directory entry,
+ * and every undelivered (incl. dropped) network message. Output is
+ * byte-deterministic for a given seed + fault spec.
+ */
+void writeCrashReport(std::ostream &os, System &sys,
+                      const std::string &verdict,
+                      const std::string &detail);
+
+/**
+ * Run @p sys to completion, classify the outcome, and — for any
+ * outcome other than Ok — write a crash report to
+ * @p crash_dump_path (skipped when empty). panic()/fatal() throws
+ * are caught and classified as Panic; the crash report is still
+ * written from whatever state the system wedged in.
+ */
+ClassifiedRun runClassified(System &sys,
+                            const std::string &crash_dump_path = "");
+
+} // namespace wb
+
+#endif // WB_SYSTEM_CRASH_REPORT_HH

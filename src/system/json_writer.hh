@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter shared by the run report and the
+ * crash-report serialiser. Emits compact (single-line) JSON; keys
+ * are written in call order, so output is deterministic.
+ */
+
+#ifndef WB_SYSTEM_JSON_WRITER_HH
+#define WB_SYSTEM_JSON_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <string>
+
+namespace wb
+{
+
+/** JSON string escaping helper (exposed for tests). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Streaming writer for nested objects and arrays. The caller is
+ * responsible for balancing open/close calls; comma placement is
+ * handled here. Array elements that are objects are opened with an
+ * empty key.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    void
+    openObject(const std::string &key = "")
+    {
+        comma();
+        writeKey(key);
+        _os << '{';
+        _first = true;
+    }
+
+    void
+    closeObject()
+    {
+        _os << '}';
+        _first = false;
+    }
+
+    void
+    openArray(const std::string &key = "")
+    {
+        comma();
+        writeKey(key);
+        _os << '[';
+        _first = true;
+    }
+
+    void
+    closeArray()
+    {
+        _os << ']';
+        _first = false;
+    }
+
+    void
+    field(const std::string &key, std::uint64_t v)
+    {
+        comma();
+        writeKey(key);
+        _os << v;
+    }
+
+    void
+    field(const std::string &key, double v)
+    {
+        comma();
+        writeKey(key);
+        _os << std::setprecision(8) << v;
+    }
+
+    void
+    field(const std::string &key, bool v)
+    {
+        comma();
+        writeKey(key);
+        _os << (v ? "true" : "false");
+    }
+
+    void
+    field(const std::string &key, const std::string &v)
+    {
+        comma();
+        writeKey(key);
+        _os << '"' << jsonEscape(v) << '"';
+    }
+
+    /** Signed variant (e.g. -1 sentinels in crash reports); named
+     *  apart so integer literals don't make `field` ambiguous. */
+    void
+    fieldSigned(const std::string &key, std::int64_t v)
+    {
+        comma();
+        writeKey(key);
+        _os << v;
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!_first)
+            _os << ',';
+        _first = false;
+    }
+
+    void
+    writeKey(const std::string &key)
+    {
+        if (!key.empty())
+            _os << '"' << jsonEscape(key) << "\":";
+    }
+
+    std::ostream &_os;
+    bool _first = true;
+};
+
+} // namespace wb
+
+#endif // WB_SYSTEM_JSON_WRITER_HH

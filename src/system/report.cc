@@ -1,105 +1,11 @@
 #include "system/report.hh"
 
-#include <iomanip>
 #include <sstream>
+
+#include "system/json_writer.hh"
 
 namespace wb
 {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-namespace
-{
-
-class JsonWriter
-{
-  public:
-    explicit JsonWriter(std::ostream &os) : _os(os) {}
-
-    void
-    openObject(const std::string &key = "")
-    {
-        comma();
-        if (!key.empty())
-            _os << '"' << jsonEscape(key) << "\":";
-        _os << '{';
-        _first = true;
-    }
-
-    void
-    closeObject()
-    {
-        _os << '}';
-        _first = false;
-    }
-
-    void
-    field(const std::string &key, std::uint64_t v)
-    {
-        comma();
-        _os << '"' << jsonEscape(key) << "\":" << v;
-    }
-
-    void
-    field(const std::string &key, double v)
-    {
-        comma();
-        _os << '"' << jsonEscape(key) << "\":" << std::setprecision(8)
-            << v;
-    }
-
-    void
-    field(const std::string &key, bool v)
-    {
-        comma();
-        _os << '"' << jsonEscape(key)
-            << "\":" << (v ? "true" : "false");
-    }
-
-    void
-    field(const std::string &key, const std::string &v)
-    {
-        comma();
-        _os << '"' << jsonEscape(key) << "\":\"" << jsonEscape(v)
-            << '"';
-    }
-
-  private:
-    void
-    comma()
-    {
-        if (!_first)
-            _os << ',';
-        _first = false;
-    }
-
-    std::ostream &_os;
-    bool _first = true;
-};
-
-} // namespace
 
 void
 writeJsonReport(std::ostream &os, const std::string &workload,
@@ -132,6 +38,7 @@ writeJsonReport(std::ostream &os, const std::string &workload,
     w.openObject("results");
     w.field("completed", r.completed);
     w.field("deadlocked", r.deadlocked);
+    w.field("deadlockReason", r.deadlockReason);
     w.field("cycles", std::uint64_t(r.cycles));
     w.field("instructions", r.instructions);
     w.field("loads", r.loads);
@@ -139,6 +46,10 @@ writeJsonReport(std::ostream &os, const std::string &workload,
     w.field("atomics", r.atomics);
     w.field("flitHops", r.flitHops);
     w.field("messages", r.messages);
+    w.field("leakedMessages", r.leakedMessages);
+    w.field("faultsDropped", r.faultsDropped);
+    w.field("faultsDuplicated", r.faultsDuplicated);
+    w.field("faultsDelayed", r.faultsDelayed);
     w.field("writersBlockEntries", r.wbEntries);
     w.field("writersBlockEncounters", r.wbEncounters);
     w.field("uncacheableReads", r.uncacheableReads);

@@ -11,6 +11,7 @@
 #include <ostream>
 #include <string>
 
+#include "system/json_writer.hh"
 #include "system/system.hh"
 
 namespace wb
@@ -28,9 +29,6 @@ namespace wb
 void writeJsonReport(std::ostream &os, const std::string &workload,
                      const SystemConfig &cfg, const SimResults &r,
                      const StatRegistry *stats = nullptr);
-
-/** JSON string escaping helper (exposed for tests). */
-std::string jsonEscape(const std::string &s);
 
 } // namespace wb
 

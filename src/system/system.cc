@@ -27,6 +27,9 @@ System::System(const SystemConfig &cfg, const Workload &workload)
     for (const auto &[addr, value] : workload.initMem)
         _memory.poke(addr, value);
 
+    if (cfg.faults.enabled())
+        _faults = std::make_unique<FaultInjector>(cfg.faults);
+
     if (cfg.network == NetworkKind::Mesh) {
         MeshConfig mc = cfg.mesh;
         if (mc.width * mc.height < cfg.numCores)
@@ -39,6 +42,8 @@ System::System(const SystemConfig &cfg, const Workload &workload)
         _net = std::make_unique<IdealNetwork>("net", &_eq, &_stats,
                                               ic);
     }
+    if (_faults)
+        _net->setFaultInjector(_faults.get());
 
     if (cfg.checker)
         _checker =
@@ -124,6 +129,7 @@ System::run()
             _lastProgress = _cycle;
         } else if (_cycle - _lastProgress > _cfg.watchdogCycles) {
             _deadlocked = true;
+            _deadlockReason = "commit-watchdog";
             std::fprintf(stderr,
                          "WATCHDOG: no commit for %llu cycles at "
                          "cycle %llu\n",
@@ -133,11 +139,199 @@ System::run()
             dumpState(std::cerr);
             break;
         }
+
+        // Per-transaction watchdog: a single wedged MSHR or
+        // directory entry must be diagnosed even while other cores
+        // keep committing (the global watchdog never fires then).
+        if (_cfg.watchdogPollCycles &&
+            _cycle % _cfg.watchdogPollCycles == 0 &&
+            pollTransactionAges())
+            break;
     }
+
+    // Record the cycle the workload finished (or wedged) at before
+    // the teardown drain, so reported performance is comparable
+    // whether or not a drain was needed.
+    const Tick done_cycle = _cycle;
+    if (!_deadlocked && allDone())
+        drainTeardown();
+
     SimResults r = snapshot();
+    r.cycles = done_cycle;
     r.completed = allDone();
     r.deadlocked = _deadlocked;
+    r.deadlockReason = _deadlockReason;
     return r;
+}
+
+bool
+System::pollTransactionAges()
+{
+    std::string who;
+    const Tick age = oldestTxnAge(&who);
+    if (age >= _cfg.txnDeadlockCycles) {
+        _deadlocked = true;
+        _deadlockReason = "transaction-timeout: " + who;
+        std::fprintf(stderr,
+                     "WATCHDOG: transaction at %s stuck for %llu "
+                     "cycles at cycle %llu\n",
+                     who.c_str(),
+                     static_cast<unsigned long long>(age),
+                     static_cast<unsigned long long>(_cycle));
+        dumpState(std::cerr);
+        return true;
+    }
+    if (age >= _cfg.txnWarnCycles) {
+        if (!_txnWarned) {
+            _txnWarned = true;
+            std::fprintf(
+                stderr,
+                "WATCHDOG: slow transaction at %s (age %llu) at "
+                "cycle %llu\n",
+                who.c_str(), static_cast<unsigned long long>(age),
+                static_cast<unsigned long long>(_cycle));
+        }
+        // Second escalation step: dump full state once, halfway to
+        // the deadlock verdict.
+        if (!_txnDumped &&
+            age >= (_cfg.txnWarnCycles + _cfg.txnDeadlockCycles) /
+                       2) {
+            _txnDumped = true;
+            dumpState(std::cerr);
+        }
+    }
+    return false;
+}
+
+Tick
+System::oldestTxnAge(std::string *who) const
+{
+    Tick worst = 0;
+    for (const auto &l1 : _l1s) {
+        const Tick a = l1->oldestTransactionAge(_cycle);
+        if (a > worst) {
+            worst = a;
+            if (who)
+                *who = l1->name();
+        }
+    }
+    for (const auto &llc : _llcs) {
+        const Tick a = llc->oldestTransactionAge(_cycle);
+        if (a > worst) {
+            worst = a;
+            if (who)
+                *who = llc->name();
+        }
+    }
+    return worst;
+}
+
+bool
+System::quiescent() const
+{
+    if (_net->inFlight() != 0)
+        return false;
+    for (const auto &l1 : _l1s)
+        if (l1->pendingMshrs() || l1->writebackBufferUse())
+            return false;
+    for (const auto &llc : _llcs)
+        if (llc->evictionBufferUse() || llc->retryQueueUse())
+            return false;
+    return true;
+}
+
+bool
+System::cleanTeardown(std::string *why) const
+{
+    const auto leaked = _net->undelivered();
+    if (!leaked.empty()) {
+        if (why) {
+            char buf[128];
+            const auto &m = leaked.front();
+            std::snprintf(buf, sizeof(buf),
+                          "net: %zu undelivered message(s), first "
+                          "%s%s %d->%d line 0x%llx",
+                          leaked.size(), m.kind,
+                          m.dropped ? " (dropped)" : "", m.src,
+                          m.dst,
+                          static_cast<unsigned long long>(m.addr));
+            *why = buf;
+        }
+        return false;
+    }
+    for (const auto &l1 : _l1s) {
+        if (l1->pendingMshrs()) {
+            if (why) {
+                const auto infos = l1->mshrInfos(_cycle);
+                char buf[96];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "%s: %zu outstanding mshr(s), first line "
+                    "0x%llx",
+                    l1->name().c_str(), infos.size(),
+                    infos.empty()
+                        ? 0ull
+                        : static_cast<unsigned long long>(
+                              infos.front().line));
+                *why = buf;
+            }
+            return false;
+        }
+        if (l1->writebackBufferUse()) {
+            if (why)
+                *why = l1->name() + ": writeback(s) never acked";
+            return false;
+        }
+    }
+    for (const auto &llc : _llcs) {
+        const auto infos = llc->transientInfos(_cycle);
+        if (!infos.empty()) {
+            if (why) {
+                char buf[96];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "%s: line 0x%llx stuck in %s",
+                    llc->name().c_str(),
+                    static_cast<unsigned long long>(
+                        infos.front().line),
+                    infos.front().state);
+                *why = buf;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+System::drainTeardown()
+{
+    // Everything still moving now is protocol housekeeping
+    // (writebacks, prefetch fills, eviction recalls): give it a
+    // bounded window to settle before judging leaks.
+    for (Tick spent = 0; spent < _cfg.teardownDrainCycles; ++spent) {
+        if (quiescent() && _eq.empty())
+            break;
+        step();
+        // A dropped message can wedge a prefetch or writeback even
+        // though every core halted; classify it instead of spinning
+        // through the whole drain budget.
+        if (_cfg.watchdogPollCycles &&
+            _cycle % _cfg.watchdogPollCycles == 0 &&
+            pollTransactionAges())
+            return;
+    }
+    std::string why;
+    if (!cleanTeardown(&why)) {
+        _deadlocked = true;
+        _deadlockReason = "message-leak: " + why;
+        std::fprintf(stderr,
+                     "WATCHDOG: unclean teardown at cycle %llu: "
+                     "%s\n",
+                     static_cast<unsigned long long>(_cycle),
+                     why.c_str());
+        dumpState(std::cerr);
+    }
 }
 
 SimResults
@@ -156,6 +350,10 @@ System::snapshot() const
     }
     r.flitHops = _stats.counterValue("net.flitHops");
     r.messages = _stats.counterValue("net.messages");
+    r.leakedMessages = _net->undelivered().size();
+    r.faultsDropped = _stats.counterValue("net.faultDropped");
+    r.faultsDuplicated = _stats.counterValue("net.faultDuplicated");
+    r.faultsDelayed = _stats.counterValue("net.faultDelayed");
     r.wbEntries = _stats.sumCounters(".writersBlockEntries");
     r.wbEncounters = _stats.sumCounters(".writersBlockEncounters");
     r.uncacheableReads = _stats.sumCounters(".uncacheableReads");

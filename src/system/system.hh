@@ -25,6 +25,7 @@
 #include "network/ideal.hh"
 #include "network/mesh.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace wb
@@ -50,6 +51,17 @@ struct SystemConfig
     Tick watchdogCycles = 200'000; //!< no commit anywhere => deadlock
     std::uint64_t maxInstructionsPerCore = 0; //!< 0 = run to Halt
 
+    /** Network fault campaign; inactive unless faults.enabled(). */
+    FaultConfig faults{};
+
+    // Per-transaction watchdog (escalates warn -> dump -> verdict).
+    Tick txnWarnCycles = 120'000;     //!< stderr warning + dump
+    Tick txnDeadlockCycles = 400'000; //!< deadlock verdict
+    Tick watchdogPollCycles = 2'048;  //!< age-scan interval
+    /** Post-completion budget for in-flight traffic / writebacks to
+     *  settle before the message-leak and MSHR-empty checks. */
+    Tick teardownDrainCycles = 100'000;
+
     /** Convenience: make the core/protocol flavours consistent. */
     void
     setMode(CommitMode mode)
@@ -64,7 +76,10 @@ struct SystemConfig
 struct SimResults
 {
     bool completed = false;  //!< every thread halted
-    bool deadlocked = false; //!< watchdog fired
+    bool deadlocked = false; //!< a hang detector fired
+    /** Which detector fired: "" | "commit-watchdog" |
+     *  "transaction-timeout" | "message-leak" | "teardown-leak". */
+    std::string deadlockReason;
     Tick cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t loads = 0;
@@ -74,6 +89,12 @@ struct SimResults
     // network
     std::uint64_t flitHops = 0;
     std::uint64_t messages = 0;
+    std::uint64_t leakedMessages = 0; //!< undelivered at end of run
+
+    // fault campaign
+    std::uint64_t faultsDropped = 0;
+    std::uint64_t faultsDuplicated = 0;
+    std::uint64_t faultsDelayed = 0;
 
     // WritersBlock / protocol events
     std::uint64_t wbEntries = 0;      //!< directory WritersBlocks
@@ -140,8 +161,38 @@ class System
     L1Controller &l1(int i) { return *_l1s[std::size_t(i)]; }
     LLCBank &llc(int i) { return *_llcs[std::size_t(i)]; }
     Network &network() { return *_net; }
+    const Network &network() const { return *_net; }
     int numCores() const { return _cfg.numCores; }
     Tick cycle() const { return _cycle; }
+    const SystemConfig &config() const { return _cfg; }
+
+    /** The fault oracle, nullptr when the campaign is disabled. */
+    FaultInjector *faultInjector() { return _faults.get(); }
+    const FaultInjector *faultInjector() const
+    {
+        return _faults.get();
+    }
+
+    /** Which hang detector fired ("" while none has). */
+    const std::string &deadlockReason() const
+    {
+        return _deadlockReason;
+    }
+
+    /**
+     * Cheap teardown probe: no message in flight, no L1 MSHR or
+     * writeback pending, no LLC eviction/retry work queued. Used by
+     * the post-completion drain loop.
+     */
+    bool quiescent() const;
+
+    /**
+     * Full end-of-run hygiene check: quiescent() plus no undelivered
+     * (incl. dropped) ledger entries and no transient directory
+     * entries. On failure @p why (if non-null) names the first
+     * offender.
+     */
+    bool cleanTeardown(std::string *why = nullptr) const;
 
     /** Gather current statistics into a SimResults. */
     SimResults snapshot() const;
@@ -158,10 +209,23 @@ class System
     std::uint64_t peekCoherent(Addr addr) const;
 
   private:
+    /** Scan per-component transaction ages and escalate
+     *  (warn -> dump -> deadlock verdict). @return true on verdict. */
+    bool pollTransactionAges();
+
+    /** Oldest in-flight transaction age across all L1s and LLC
+     *  banks; @p who (if non-null) names the worst component. */
+    Tick oldestTxnAge(std::string *who) const;
+
+    /** Let post-completion traffic settle, then run the leak check;
+     *  sets the deadlock verdict if the machine never goes quiet. */
+    void drainTeardown();
+
     SystemConfig _cfg;
     EventQueue _eq;
     StatRegistry _stats;
     MainMemory _memory;
+    std::unique_ptr<FaultInjector> _faults;
     std::unique_ptr<Network> _net;
     std::unique_ptr<TsoChecker> _checker;
     std::vector<std::unique_ptr<L1Controller>> _l1s;
@@ -170,6 +234,9 @@ class System
     std::vector<Program> _programs; //!< padded to numCores
     Tick _cycle = 0;
     bool _deadlocked = false;
+    std::string _deadlockReason;
+    bool _txnWarned = false;
+    bool _txnDumped = false;
     std::uint64_t _lastCommits = 0;
     Tick _lastProgress = 0;
 };

@@ -93,6 +93,16 @@ TEST_P(StressSweep, CompletesWithoutTsoViolation)
     EXPECT_EQ(r.tsoViolations, 0u)
         << commitModeName(mode) << " seed " << seed;
     EXPECT_GT(r.instructions, 0u);
+
+    // End-of-run hygiene: every message delivered, every MSHR and
+    // transient directory entry retired.
+    EXPECT_FALSE(r.deadlocked) << r.deadlockReason;
+    EXPECT_EQ(r.leakedMessages, 0u);
+    EXPECT_EQ(sys.network().inFlight(), 0u);
+    std::string why;
+    EXPECT_TRUE(sys.cleanTeardown(&why)) << why;
+    for (int i = 0; i < sys.numCores(); ++i)
+        EXPECT_EQ(sys.l1(i).pendingMshrs(), 0u) << "l1." << i;
 }
 
 namespace
@@ -237,6 +247,9 @@ TEST(Stress, MeshNetworkStress)
     ASSERT_TRUE(r.completed) << "deadlocked=" << r.deadlocked;
     EXPECT_EQ(r.tsoViolations, 0u);
     EXPECT_GT(r.flitHops, 0u);
+    EXPECT_EQ(r.leakedMessages, 0u);
+    std::string why;
+    EXPECT_TRUE(sys.cleanTeardown(&why)) << why;
 }
 
 } // namespace wb

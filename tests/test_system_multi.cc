@@ -70,6 +70,14 @@ TEST_P(DrfEquivalence, ArchStateMatchesReference)
             EXPECT_EQ(sys.core(t).regValue(reg),
                       fs.readReg(t, reg))
                 << "thread " << t << " reg " << int(reg);
+
+    // End-of-run hygiene: the in-flight ledger must be empty and no
+    // MSHR or transient directory entry may outlive the run.
+    EXPECT_FALSE(r.deadlocked) << r.deadlockReason;
+    EXPECT_EQ(r.leakedMessages, 0u);
+    EXPECT_EQ(sys.network().inFlight(), 0u);
+    std::string why;
+    EXPECT_TRUE(sys.cleanTeardown(&why)) << why;
 }
 
 namespace

@@ -9,8 +9,15 @@
  *   wbsim --workload table1 --mode ooo-unsafe --iters 3000
  *   wbsim --list
  *   wbsim --workload fft --mode in-order --dump-stats
+ *   wbsim --workload radix --faults "seed=7,drop=0.001:2" \
+ *         --crash-dump crash.json
  *
- * Exit code 0 on a completed, TSO-clean run; 1 otherwise.
+ * Exit codes (docs/RESILIENCE.md):
+ *   0  completed, TSO-clean, no message leaks
+ *   2  TSO violation detected
+ *   3  deadlock / hang / message leak / cycle cap
+ *   4  internal panic
+ *   64 usage error
  */
 
 #include <cstdio>
@@ -20,6 +27,7 @@
 #include <iostream>
 #include <string>
 
+#include "system/crash_report.hh"
 #include "system/report.hh"
 #include "system/system.hh"
 #include "workload/benchmarks.hh"
@@ -53,9 +61,15 @@ usage()
         "  --ldt N           lockdown table size (default 32)\n"
         "  --trace FLAGS     comma list: core,cache,dir,net,\n"
         "                    lockdown,checker,commit\n"
+        "  --faults SPEC     fault campaign, e.g.\n"
+        "                    \"seed=7,delay=0.01:200,drop=0.001:2\"\n"
+        "  --crash-dump FILE write a JSON crash report on any\n"
+        "                    abnormal outcome\n"
         "  --dump-stats      print every counter after the run\n"
         "  --json FILE       write a JSON report (- for stdout)\n"
-        "  --list            list benchmark profiles and exit\n");
+        "  --list            list benchmark profiles and exit\n"
+        "exit codes: 0 ok, 2 TSO violation, 3 deadlock/hang,\n"
+        "            4 internal panic, 64 usage error\n");
 }
 
 bool
@@ -162,13 +176,15 @@ main(int argc, char **argv)
     int ldt = 32;
     bool dump_stats = false;
     std::string json_path;
+    std::string faults_spec;
+    std::string crash_dump;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
                 usage();
-                std::exit(2);
+                std::exit(64);
             }
             return argv[++i];
         };
@@ -177,12 +193,12 @@ main(int argc, char **argv)
         else if (a == "--mode") {
             if (!parseMode(next(), mode)) {
                 usage();
-                return 2;
+                return 64;
             }
         } else if (a == "--class") {
             if (!parseClass(next(), cls)) {
                 usage();
-                return 2;
+                return 64;
             }
         } else if (a == "--cores")
             cores = std::atoi(next());
@@ -208,6 +224,10 @@ main(int argc, char **argv)
             ldt = std::atoi(next());
         else if (a == "--trace")
             enableTrace(next());
+        else if (a == "--faults")
+            faults_spec = next();
+        else if (a == "--crash-dump")
+            crash_dump = next();
         else if (a == "--dump-stats")
             dump_stats = true;
         else if (a == "--json")
@@ -220,7 +240,7 @@ main(int argc, char **argv)
             return 0;
         } else {
             usage();
-            return a == "--help" || a == "-h" ? 0 : 2;
+            return a == "--help" || a == "-h" ? 0 : 64;
         }
     }
 
@@ -261,12 +281,23 @@ main(int argc, char **argv)
         cfg.core.lockdown = false;
         cfg.mem.writersBlock = false;
     }
+    if (!faults_spec.empty()) {
+        std::string err;
+        if (!parseFaultSpec(faults_spec, cfg.faults, err)) {
+            std::fprintf(stderr, "bad --faults spec: %s\n",
+                         err.c_str());
+            return 64;
+        }
+    }
 
     std::printf("workload: %s\nconfig:   %s\n", wl.name.c_str(),
                 describeConfig(cfg).c_str());
+    if (cfg.faults.enabled())
+        std::printf("faults:   %s\n", cfg.faults.spec().c_str());
 
     System sys(cfg, wl);
-    SimResults r = sys.run();
+    const ClassifiedRun cr = runClassified(sys, crash_dump);
+    const SimResults &r = cr.results;
 
     std::printf("\n%-24s %llu\n", "cycles",
                 static_cast<unsigned long long>(r.cycles));
@@ -309,10 +340,19 @@ main(int argc, char **argv)
     std::printf("%-24s %llu msgs, %llu flit-hops\n", "network",
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.flitHops));
-    std::printf("%-24s %s\n", "status",
-                r.deadlocked      ? "DEADLOCKED"
-                : !r.completed    ? "cycle cap reached"
-                                  : "completed");
+    if (cfg.faults.enabled())
+        std::printf("%-24s %llu dropped / %llu duplicated / "
+                    "%llu delayed\n",
+                    "faults injected",
+                    static_cast<unsigned long long>(
+                        r.faultsDropped),
+                    static_cast<unsigned long long>(
+                        r.faultsDuplicated),
+                    static_cast<unsigned long long>(
+                        r.faultsDelayed));
+    std::printf("%-24s %s%s%s\n", "status", cr.verdict.c_str(),
+                cr.detail.empty() ? "" : ": ",
+                cr.detail.c_str());
     if (checker)
         std::printf("%-24s %s (%zu violations)\n", "tso checker",
                     r.tsoViolations == 0 ? "clean" : "VIOLATED",
@@ -350,5 +390,13 @@ main(int argc, char **argv)
                 writeJsonReport(jf, wl.name, cfg, r, &sys.stats());
         }
     }
-    return (r.completed && r.tsoViolations == 0) ? 0 : 1;
+    if (!crash_dump.empty() && cr.outcome != RunOutcome::Ok) {
+        if (cr.crashDumpWritten)
+            std::fprintf(stderr, "crash report written to %s\n",
+                         crash_dump.c_str());
+        else
+            std::fprintf(stderr, "warning: could not write crash "
+                         "report to %s\n", crash_dump.c_str());
+    }
+    return cr.exitCode();
 }
