@@ -72,5 +72,6 @@ main()
                 "benchmarks) with similar execution time — worst "
                 "case here: %.1f%% more traffic.\n",
                 100.0 * (worst_traffic - 1.0));
+    wbench::reportRunIncomplete();
     return 0;
 }

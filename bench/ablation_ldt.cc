@@ -53,5 +53,6 @@ main()
                 "of the benefit; 32 is never the limiter\n"
                 "(ldt0 disables OoO commit of reordered loads "
                 "entirely, approximating safe OoO commit).\n");
+    wbench::reportRunIncomplete();
     return 0;
 }

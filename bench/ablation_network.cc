@@ -57,5 +57,6 @@ main()
     }
     std::printf("\nslower networks widen the load-reordering "
                 "window: the WritersBlock speedup grows.\n");
+    wbench::reportRunIncomplete();
     return 0;
 }

@@ -53,5 +53,6 @@ main()
     }
     wbench::printRule(78);
     std::printf("%-15s %36.4f\n", "average", sum / n);
+    wbench::reportRunIncomplete();
     return 0;
 }

@@ -6,6 +6,15 @@
  * (default 1.0): it scales the synthetic benchmarks' iteration
  * counts, letting CI run a fast smoke pass while full runs
  * reproduce the figures with more signal.
+ *
+ * The figure harnesses run their sweeps through the src/campaign
+ * subsystem: paperCampaign() builds the spec for the paper's
+ * 16-core machine, campaignJobs() reads the worker count from a
+ * -j N argument or the WB_JOBS environment variable (default: one
+ * worker per hardware thread), and reportIncomplete() surfaces the
+ * campaign's incomplete-run count — a run that hits maxCycles no
+ * longer hides behind a stderr WARNING, it is counted in the
+ * summary every harness prints.
  */
 
 #ifndef WB_BENCH_COMMON_HH
@@ -13,8 +22,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "campaign/campaign_runner.hh"
 #include "system/system.hh"
 #include "workload/benchmarks.hh"
 
@@ -27,6 +38,19 @@ benchScale()
     if (const char *s = std::getenv("WB_BENCH_SCALE"))
         return std::atof(s);
     return 1.0;
+}
+
+/** Worker count for a harness: -j N argument, else WB_JOBS env,
+ *  else 0 (= one worker per hardware thread). */
+inline int
+campaignJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "-j") && i + 1 < argc)
+            return std::atoi(argv[i + 1]);
+    if (const char *s = std::getenv("WB_JOBS"))
+        return std::atoi(s);
+    return 0;
 }
 
 /** Build the paper's 16-core machine for a commit mode / class. */
@@ -43,7 +67,70 @@ paperConfig(wb::CommitMode mode,
     return cfg;
 }
 
-/** Run one benchmark profile; fatal-ish warning if incomplete. */
+/**
+ * Campaign spec for a paper sweep: every benchmark profile on the
+ * 16-core machine, crossed with the given mode/class axes. Profiles
+ * keep their own fixed seeds so each benchmark runs the same
+ * program in every cell and timing ratios compare like for like.
+ */
+inline wb::CampaignSpec
+paperCampaign(std::vector<wb::CommitMode> modes,
+              std::vector<wb::CoreClass> classes, double scale)
+{
+    wb::CampaignSpec spec;
+    spec.name = "paper-sweep";
+    spec.workloads = wb::benchmarkNames();
+    spec.modes = std::move(modes);
+    spec.classes = std::move(classes);
+    spec.useProfileSeed = true;
+    spec.scale = scale;
+    spec.cores = 16;
+    spec.checker = false;
+    spec.maxCycles = 400'000'000;
+    return spec;
+}
+
+/** Run a paper campaign on the worker pool. */
+inline wb::CampaignResult
+runPaperCampaign(const wb::CampaignSpec &spec, int jobs)
+{
+    wb::CampaignRunner::Options opts;
+    opts.jobs = jobs;
+    wb::CampaignRunner runner(spec, opts);
+    return runner.run();
+}
+
+/**
+ * Footer for every campaign-driven harness: incomplete runs (the
+ * ones runBenchmark used to only WARN about) are surfaced in the
+ * output proper, alongside any abnormal classified outcome.
+ */
+inline void
+reportIncomplete(const wb::CampaignResult &result)
+{
+    const wb::CampaignSummary &s = result.summary;
+    if (s.incomplete || s.hardFailures() || s.deadlocks)
+        std::printf("\nWARNING: %zu/%zu runs incomplete "
+                    "(%zu deadlock, %zu panic, %zu tso, %zu "
+                    "infra) — figures above undercount them\n",
+                    s.incomplete, s.done, s.deadlocks, s.panics,
+                    s.tsoViolations, s.infraFailures);
+}
+
+/**
+ * Run one benchmark profile serially (the ablation harnesses still
+ * iterate a parameter at a time). The returned SimResults carries
+ * completed=false when the run hit maxCycles; callers aggregating
+ * several runs should count those rather than fold them in
+ * silently — runIncomplete() tallies them per process.
+ */
+inline int &
+runIncomplete()
+{
+    static int n = 0;
+    return n;
+}
+
 inline wb::SimResults
 runBenchmark(const std::string &name, wb::CommitMode mode,
              wb::CoreClass cls, double scale)
@@ -51,12 +138,24 @@ runBenchmark(const std::string &name, wb::CommitMode mode,
     wb::Workload wl = wb::makeBenchmark(name, 16, scale);
     wb::System sys(paperConfig(mode, cls), wl);
     wb::SimResults r = sys.run();
-    if (!r.completed)
+    if (!r.completed) {
+        ++runIncomplete();
         std::fprintf(stderr,
                      "WARNING: %s (%s/%s) did not complete\n",
                      name.c_str(), wb::commitModeName(mode),
                      wb::coreClassName(cls));
+    }
     return r;
+}
+
+/** Footer for the serial ablation harnesses. */
+inline void
+reportRunIncomplete()
+{
+    if (runIncomplete())
+        std::printf("\nWARNING: %d runs did not complete; their "
+                    "rows undercount\n",
+                    runIncomplete());
 }
 
 inline void

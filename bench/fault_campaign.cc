@@ -1,214 +1,91 @@
 /**
  * @file
- * fault_campaign — the full fault-injection soak sweep.
+ * fault_campaign — the full fault-injection soak sweep, now driven
+ * by the src/campaign subsystem: the (commit mode x fault mix x
+ * seed) grid runs on a worker pool (one worker per hardware thread,
+ * -j to override) with per-job crash isolation, and the safety
+ * invariants (campaign/fault_invariants.hh) are asserted on every
+ * run: each job either finishes TSO-checker-clean with an empty
+ * in-flight ledger, or terminates with a classified diagnosis
+ * (deadlock verdict or panic). Any TSO violation, silent hang,
+ * unclassified outcome, or crash dump that names no stuck
+ * transaction fails the campaign.
  *
- * Runs seeds x fault mixes x all three commit modes (>= 500 runs by
- * default) and checks the harness guarantee on every single one:
- * the run either finishes TSO-checker-clean with an empty in-flight
- * ledger, or terminates with a classified diagnosis (deadlock
- * verdict or panic). Any TSO violation, silent hang, unclassified
- * outcome, or non-reproducing crash dump fails the campaign.
+ *   fault_campaign [--seeds N] [--quick] [-j N] [--json FILE]
  *
- *   fault_campaign [--seeds N] [--quick]
- *
- * Exits 0 when the campaign holds, 1 otherwise, and prints a
- * mode x mix outcome matrix.
+ * Results are bit-identical for any -j. Exits 0 when the campaign
+ * holds, 1 otherwise, and prints a mode x mix outcome matrix.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
-#include <sstream>
+#include <fstream>
 #include <string>
-#include <vector>
 
-#include "system/crash_report.hh"
-#include "system/system.hh"
-#include "workload/synthetic.hh"
-
-namespace
-{
-
-using namespace wb;
-
-struct Mix
-{
-    const char *name;
-    const char *spec; //!< "" = fault-free control
-    bool hasDrops;
-};
-
-constexpr Mix kMixes[] = {
-    {"clean", "", false},
-    {"delay", "delay=0.02:150", false},
-    {"reorder", "reorder=0.04:8:64", false},
-    {"dup", "dup=0.015", false},
-    {"drop", "drop=0.008:2", true},
-    {"storm", "delay=0.02:100,reorder=0.03:6:48,dup=0.01", false},
-};
-
-Workload
-campaignWorkload(std::uint64_t seed)
-{
-    SyntheticParams p;
-    p.name = "fault-campaign";
-    p.iterations = 12;
-    p.bodyOps = 20;
-    p.privateWords = 512;
-    p.sharedWords = 128;
-    p.memRatio = 0.45;
-    p.storeRatio = 0.35;
-    p.sharedRatio = 0.35;
-    p.lockRatio = 0.02;
-    p.numLocks = 2;
-    p.seed = seed;
-    return makeSynthetic(p, 4);
-}
-
-SystemConfig
-campaignConfig(CommitMode mode, const Mix &mix,
-               std::uint64_t fault_seed)
-{
-    SystemConfig cfg;
-    cfg.numCores = 4;
-    cfg.network = NetworkKind::Ideal;
-    cfg.ideal.jitter = 8;
-    cfg.maxCycles = 4'000'000;
-    cfg.watchdogCycles = 40'000;
-    cfg.txnWarnCycles = 6'000;
-    cfg.txnDeadlockCycles = 20'000;
-    cfg.watchdogPollCycles = 256;
-    cfg.teardownDrainCycles = 25'000;
-    cfg.setMode(mode);
-    if (mix.spec[0]) {
-        std::string err;
-        if (!parseFaultSpec(mix.spec, cfg.faults, err)) {
-            std::fprintf(stderr, "internal: bad mix spec: %s\n",
-                         err.c_str());
-            std::exit(1);
-        }
-        cfg.faults.seed = fault_seed;
-    }
-    return cfg;
-}
-
-const char *
-outcomeName(RunOutcome o)
-{
-    switch (o) {
-      case RunOutcome::Ok: return "ok";
-      case RunOutcome::TsoViolation: return "tso";
-      case RunOutcome::Deadlock: return "deadlock";
-      case RunOutcome::Panic: return "panic";
-    }
-    return "?";
-}
-
-} // namespace
+#include "campaign/campaign_aggregator.hh"
+#include "campaign/campaign_runner.hh"
+#include "campaign/fault_invariants.hh"
 
 int
 main(int argc, char **argv)
 {
+    using namespace wb;
+
     int seeds = 28; // 3 modes x 6 mixes x 28 seeds = 504 runs
+    int jobs = 0;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
             seeds = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--quick"))
             seeds = 4;
+        else if (!std::strcmp(argv[i], "-j") && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
         else {
             std::fprintf(stderr,
                          "usage: fault_campaign [--seeds N] "
-                         "[--quick]\n");
+                         "[--quick] [-j N] [--json FILE]\n");
             return 1;
         }
     }
 
-    const CommitMode modes[] = {CommitMode::InOrder,
-                                CommitMode::OooSafe,
-                                CommitMode::OooWB};
+    const CampaignSpec spec = faultCampaignSpec(seeds);
+    CampaignRunner::Options opts;
+    opts.jobs = jobs;
+    CampaignRunner runner(spec, opts);
+    const CampaignResult result = runner.run();
 
-    // per (mode, mix): outcome -> count
-    std::map<std::string, std::map<std::string, int>> matrix;
-    int runs = 0, failures = 0;
+    const auto broken = checkFaultInvariants(result);
+    for (const std::string &b : broken)
+        std::fprintf(stderr, "FAIL %s\n", b.c_str());
 
-    for (const CommitMode mode : modes) {
-        for (const Mix &mix : kMixes) {
-            for (int s = 0; s < seeds; ++s) {
-                const std::uint64_t seed = 1000 + std::uint64_t(s);
-                ++runs;
-                System sys(campaignConfig(mode, mix, seed),
-                           campaignWorkload(seed));
-                const ClassifiedRun cr = runClassified(sys);
-                const std::string cell =
-                    std::string(commitModeName(mode)) + "/" +
-                    mix.name;
-                ++matrix[cell][outcomeName(cr.outcome)];
+    std::printf("\nfault campaign: %zu runs on %d worker%s "
+                "(%.1fs wall)\n",
+                result.summary.done, runner.workers(),
+                runner.workers() == 1 ? "" : "s",
+                result.wallSeconds);
+    std::printf("%-28s %6s %9s %6s %5s %5s\n", "mode/mix", "ok",
+                "deadlock", "panic", "tso", "inc");
+    for (const CellSummary &c : reduceCells(spec, result.jobs))
+        std::printf("%-28s %6zu %9zu %6zu %5zu %5zu\n",
+                    c.key.c_str(), c.ok, c.deadlocks, c.panics,
+                    c.tsoViolations, c.incomplete);
 
-                auto fail = [&](const char *what) {
-                    ++failures;
-                    std::fprintf(stderr,
-                                 "FAIL %s seed %llu: %s "
-                                 "(verdict=%s detail=%s)\n",
-                                 cell.c_str(),
-                                 static_cast<unsigned long long>(
-                                     seed),
-                                 what, cr.verdict.c_str(),
-                                 cr.detail.c_str());
-                };
-
-                // Invariant 1: never a TSO violation, never
-                // unclassified.
-                if (cr.outcome == RunOutcome::TsoViolation)
-                    fail("TSO violation under faults");
-                if (cr.verdict.empty())
-                    fail("unclassified outcome");
-
-                // Invariant 2: clean completion really is clean.
-                if (cr.outcome == RunOutcome::Ok &&
-                    (cr.results.leakedMessages != 0 ||
-                     !cr.results.completed))
-                    fail("ok verdict with leaks/incomplete");
-
-                // Invariant 3: a lost message is always diagnosed
-                // as a deadlock with a crash dump that names a
-                // stuck MSHR or the undelivered message.
-                if (cr.results.faultsDropped > 0) {
-                    if (cr.outcome != RunOutcome::Deadlock)
-                        fail("drop not diagnosed as deadlock");
-                    std::ostringstream os;
-                    writeCrashReport(os, sys, cr.verdict,
-                                     cr.detail);
-                    const std::string json = os.str();
-                    if (json.find("\"mshrs\":[{") ==
-                            std::string::npos &&
-                        json.find("\"dropped\":true") ==
-                            std::string::npos)
-                        fail("crash dump names no stuck txn");
-                }
-
-                // Invariant 4: the control column never degrades.
-                if (!mix.spec[0] &&
-                    cr.outcome != RunOutcome::Ok)
-                    fail("fault-free control failed");
-            }
-        }
+    if (!json_path.empty()) {
+        std::ofstream f(json_path);
+        if (f)
+            writeCampaignJson(f, spec, result);
+        else
+            std::fprintf(stderr, "cannot open %s\n",
+                         json_path.c_str());
     }
 
-    std::printf("\nfault campaign: %d runs\n", runs);
-    std::printf("%-28s %6s %9s %6s %5s\n", "mode/mix", "ok",
-                "deadlock", "panic", "tso");
-    for (const auto &[cell, counts] : matrix) {
-        auto get = [&](const char *k) {
-            const auto it = counts.find(k);
-            return it == counts.end() ? 0 : it->second;
-        };
-        std::printf("%-28s %6d %9d %6d %5d\n", cell.c_str(),
-                    get("ok"), get("deadlock"), get("panic"),
-                    get("tso"));
-    }
-    std::printf("\n%s (%d failure%s)\n",
-                failures ? "CAMPAIGN FAILED" : "campaign holds",
-                failures, failures == 1 ? "" : "s");
-    return failures ? 1 : 0;
+    std::printf("\n%s (%zu failure%s)\n",
+                broken.empty() ? "campaign holds"
+                               : "CAMPAIGN FAILED",
+                broken.size(), broken.size() == 1 ? "" : "s");
+    return broken.empty() ? 0 : 1;
 }

@@ -12,6 +12,9 @@
  * larger LQs (NHM/HSW) see more of both because more loads are in
  * flight; the worst cases are the high-sharing applications
  * (streamcluster for blocked writes, freqmine for tear-offs).
+ *
+ * The benchmark x class grid runs as one parallel campaign
+ * (fig8_wb_rates [-j N], or WB_JOBS).
  */
 
 #include <cstdio>
@@ -19,10 +22,19 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace wb;
     const double scale = wbench::benchScale();
+    const CoreClass classes[3] = {CoreClass::SLM, CoreClass::NHM,
+                                  CoreClass::HSW};
+
+    const CampaignSpec spec = wbench::paperCampaign(
+        {CommitMode::OooWB},
+        {CoreClass::SLM, CoreClass::NHM, CoreClass::HSW}, scale);
+    const CampaignResult result = wbench::runPaperCampaign(
+        spec, wbench::campaignJobs(argc, argv));
+
     std::printf("Figure 8: WritersBlock events per kilo-store and "
                 "uncacheable reads per kilo-load\n");
     std::printf("mode: OoO commit + WritersBlock, 16 cores "
@@ -37,22 +49,20 @@ main()
     double sum_wb[3] = {0, 0, 0};
     double sum_unc[3] = {0, 0, 0};
     int n = 0;
-    const CoreClass classes[3] = {CoreClass::SLM, CoreClass::NHM,
-                                  CoreClass::HSW};
     for (const std::string &name : benchmarkNames()) {
-        double wb[3], unc[3];
+        double wbv[3], unc[3];
         for (int c = 0; c < 3; ++c) {
-            SimResults r = wbench::runBenchmark(
-                name, CommitMode::OooWB, classes[c], scale);
-            wb[c] = r.wbPerKiloStore();
-            unc[c] = r.uncReadsPerKiloLoad();
-            sum_wb[c] += wb[c];
+            const JobResult *r = result.find(
+                name, CommitMode::OooWB, classes[c]);
+            wbv[c] = r ? r->results.wbPerKiloStore() : 0.0;
+            unc[c] = r ? r->results.uncReadsPerKiloLoad() : 0.0;
+            sum_wb[c] += wbv[c];
             sum_unc[c] += unc[c];
         }
         ++n;
         std::printf("%-15s | %8.3f %8.3f %8.3f | %8.3f %8.3f "
                     "%8.3f\n",
-                    name.c_str(), wb[0], wb[1], wb[2], unc[0],
+                    name.c_str(), wbv[0], wbv[1], wbv[2], unc[0],
                     unc[1], unc[2]);
     }
     wbench::printRule(76);
@@ -64,5 +74,6 @@ main()
                 "of one per thousand memory operations on\n"
                 "average, growing with load-queue size, peaking "
                 "for the high-sharing benchmarks.\n");
-    return 0;
+    wbench::reportIncomplete(result);
+    return result.summary.hardFailures() ? 1 : 0;
 }

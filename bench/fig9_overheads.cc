@@ -10,6 +10,11 @@
  * The paper's claim: execution time and network traffic are
  * essentially unchanged (WritersBlock only acts in the rare racy
  * cases, and delaying a write costs less than a squash).
+ *
+ * The two flavours are a campaign variant axis; the whole grid runs
+ * in parallel (fig9_overheads [-j N], or WB_JOBS) and both cells of
+ * a benchmark simulate the identical program, so the ratios are
+ * exact.
  */
 
 #include <cstdio>
@@ -17,10 +22,27 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace wb;
     const double scale = wbench::benchScale();
+
+    CampaignSpec spec = wbench::paperCampaign(
+        {CommitMode::InOrder}, {CoreClass::SLM}, scale);
+    spec.name = "fig9-overheads";
+    // base: squash core, base protocol; wb: lockdown core on the
+    // WritersBlock protocol, still committing in order (Section
+    // 5.1: neither benefit nor penalty expected).
+    spec.variants = {"base", "wb"};
+    spec.configHook = [](const JobSpec &job, SystemConfig &cfg) {
+        if (job.variant == "wb") {
+            cfg.core.lockdown = true;
+            cfg.mem.writersBlock = true;
+        }
+    };
+    const CampaignResult result = wbench::runPaperCampaign(
+        spec, wbench::campaignJobs(argc, argv));
+
     std::printf("Figure 9: WritersBlock protocol overhead vs the "
                 "base directory protocol\n");
     std::printf("mode: in-order commit, 16 cores (scale %.2f); "
@@ -34,27 +56,20 @@ main()
     double time_sum = 0, traffic_sum = 0;
     int n = 0;
     for (const std::string &name : benchmarkNames()) {
-        // Base: squash core, base protocol, in-order commit.
-        SimResults base = wbench::runBenchmark(
-            name, CommitMode::InOrder, CoreClass::SLM, scale);
-        // WB: lockdown core on the WritersBlock protocol, still
-        // committing in order (Section 5.1: neither benefit nor
-        // penalty expected).
-        Workload wl = makeBenchmark(name, 16, scale);
-        SystemConfig cfg =
-            wbench::paperConfig(CommitMode::InOrder);
-        cfg.core.lockdown = true;
-        cfg.mem.writersBlock = true;
-        System sys(cfg, wl);
-        SimResults wbr = sys.run();
+        const JobResult *base = result.find(
+            name, CommitMode::InOrder, CoreClass::SLM, "base");
+        const JobResult *wbr = result.find(
+            name, CommitMode::InOrder, CoreClass::SLM, "wb");
+        if (!base || !wbr)
+            continue;
+        const SimResults &b = base->results;
+        const SimResults &w = wbr->results;
 
-        const double nt = base.cycles
-                              ? double(wbr.cycles) /
-                                    double(base.cycles)
-                              : 0.0;
-        const double nf = base.flitHops
-                              ? double(wbr.flitHops) /
-                                    double(base.flitHops)
+        const double nt =
+            b.cycles ? double(w.cycles) / double(b.cycles) : 0.0;
+        const double nf = b.flitHops
+                              ? double(w.flitHops) /
+                                    double(b.flitHops)
                               : 0.0;
         time_sum += nt;
         traffic_sum += nf;
@@ -62,14 +77,12 @@ main()
         std::printf("%-15s %12llu %12llu %12.4f %12.4f %10llu "
                     "%12llu %10llu\n",
                     name.c_str(),
-                    static_cast<unsigned long long>(base.cycles),
-                    static_cast<unsigned long long>(wbr.cycles),
+                    static_cast<unsigned long long>(b.cycles),
+                    static_cast<unsigned long long>(w.cycles),
                     nt, nf,
-                    static_cast<unsigned long long>(wbr.wbEntries),
-                    static_cast<unsigned long long>(
-                        wbr.squashInv),
-                    static_cast<unsigned long long>(
-                        base.squashInv));
+                    static_cast<unsigned long long>(w.wbEntries),
+                    static_cast<unsigned long long>(w.squashInv),
+                    static_cast<unsigned long long>(b.squashInv));
     }
     wbench::printRule(102);
     std::printf("%-15s %38.4f %12.4f\n", "average", time_sum / n,
@@ -81,5 +94,6 @@ main()
                 "in-order commit: consistency squashes drop to "
                 "zero because lockdowns replace them\n"
                 "(Figure 2 of the paper).\n");
-    return 0;
+    wbench::reportIncomplete(result);
+    return result.summary.hardFailures() ? 1 : 0;
 }

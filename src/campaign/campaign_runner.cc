@@ -1,0 +1,244 @@
+#include "campaign/campaign_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "campaign/campaign_aggregator.hh"
+#include "sim/log.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+/** Run one job to a classified result; throws only on
+ *  runner-infrastructure failure (workload/config construction). */
+JobResult
+executeOnce(const CampaignSpec &spec, const JobSpec &job,
+            const std::string &out_dir)
+{
+    JobResult res;
+    res.spec = job;
+
+    // Anything that throws out here (bad profile name, allocation
+    // failure while emitting the program, ...) is an infrastructure
+    // failure: the simulation never started, so the caller may
+    // retry it.
+    Workload wl = spec.workloadFor(job);
+    SystemConfig cfg = spec.configFor(job);
+    System sys(cfg, wl);
+
+    // From here on runClassified() owns fault handling: panics and
+    // fatals inside the simulation become classified outcomes, not
+    // exceptions, so one wedged job cannot take down the campaign.
+    const ClassifiedRun cr = runClassified(sys);
+    res.outcome = cr.outcome;
+    res.verdict = cr.verdict;
+    res.detail = cr.detail;
+    res.results = cr.results;
+
+    if (cr.outcome != RunOutcome::Ok) {
+        std::ostringstream dump;
+        writeCrashReport(dump, sys, cr.verdict, cr.detail);
+        res.crashJson = dump.str();
+        if (!out_dir.empty()) {
+            const std::string path =
+                out_dir + "/crash-job" +
+                std::to_string(job.index) + ".json";
+            std::ofstream f(path);
+            if (f) {
+                f << res.crashJson;
+                if (f.good())
+                    res.crashReportPath = path;
+            }
+        }
+    }
+    return res;
+}
+
+JobResult
+executeWithRetry(const CampaignSpec &spec, const JobSpec &job,
+                 const std::string &out_dir)
+{
+    std::string last_err = "unknown infrastructure failure";
+    for (int attempt = 0; attempt <= spec.maxRetries; ++attempt) {
+        try {
+            JobResult res = executeOnce(spec, job, out_dir);
+            res.attempts = attempt + 1;
+            return res;
+        } catch (const std::exception &e) {
+            last_err = e.what();
+        } catch (...) {
+            last_err = "non-standard exception";
+        }
+    }
+    JobResult res;
+    res.spec = job;
+    res.outcome = RunOutcome::Panic;
+    res.verdict = "infra-failure";
+    res.detail = last_err;
+    res.infraFailure = true;
+    res.attempts = spec.maxRetries + 1;
+    return res;
+}
+
+std::string
+progressLine(const CampaignSummary &s, int busy, int workers,
+             double elapsed)
+{
+    char buf[192];
+    const double rate = elapsed > 0 ? double(s.done) / elapsed : 0;
+    const long eta =
+        rate > 0 ? long(double(s.total - s.done) / rate + 0.5) : -1;
+    std::snprintf(buf, sizeof(buf),
+                  "[%zu/%zu] ok %zu dl %zu pn %zu tso %zu inf %zu "
+                  "| busy %d/%d | %.1f job/s eta %lds",
+                  s.done, s.total, s.ok, s.deadlocks, s.panics,
+                  s.tsoViolations, s.infraFailures, busy, workers,
+                  rate, eta >= 0 ? eta : 0);
+    return buf;
+}
+
+} // namespace
+
+const JobResult *
+CampaignResult::find(const std::string &workload, CommitMode mode,
+                     CoreClass cls, const std::string &variant,
+                     const std::string &mix, int seed_index) const
+{
+    for (const JobResult &r : jobs)
+        if (r.spec.workload == workload && r.spec.mode == mode &&
+            r.spec.cls == cls && r.spec.variant == variant &&
+            r.spec.mixName == mix && r.spec.seedIndex == seed_index)
+            return &r;
+    return nullptr;
+}
+
+CampaignRunner::CampaignRunner(const CampaignSpec &spec, Options opts)
+    : _spec(spec), _opts(opts)
+{
+    int hw = int(std::thread::hardware_concurrency());
+    if (hw < 1)
+        hw = 1;
+    _workers = _opts.jobs > 0 ? _opts.jobs : hw;
+}
+
+CampaignResult
+CampaignRunner::run()
+{
+    const std::string bad = _spec.validate();
+    if (!bad.empty())
+        fatal("campaign spec: %s", bad.c_str());
+    if (!_opts.outDir.empty())
+        std::filesystem::create_directories(_opts.outDir);
+
+    CampaignResult out;
+    const std::vector<JobSpec> jobs = _spec.expand();
+    out.jobs.resize(jobs.size());
+
+    CampaignAggregator agg(jobs.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> busy{0};
+    std::atomic<bool> finished{false};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&t0] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    const int nworkers =
+        int(std::min<std::size_t>(std::size_t(_workers),
+                                  std::max<std::size_t>(
+                                      jobs.size(), 1)));
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            busy.fetch_add(1, std::memory_order_relaxed);
+            // Each slot is written by exactly one worker; the
+            // joining thread synchronises via thread::join.
+            out.jobs[i] =
+                executeWithRetry(_spec, jobs[i], _opts.outDir);
+            agg.record(out.jobs[i]);
+            busy.fetch_sub(1, std::memory_order_relaxed);
+        }
+    };
+
+    // Progress reporter: live \r line on a tty, sparse plain lines
+    // otherwise (CI logs). Runs beside the workers and never touches
+    // job results, so it cannot perturb the deterministic output.
+    std::FILE *pstream =
+        _opts.progressStream ? _opts.progressStream : stderr;
+    std::thread reporter;
+    std::mutex pmu;
+    std::condition_variable pcv;
+    if (_opts.progress && !jobs.empty()) {
+        const bool tty = isatty(fileno(pstream)) != 0;
+        reporter = std::thread([&, tty] {
+            std::size_t last_done = 0;
+            const std::size_t step =
+                std::max<std::size_t>(1, jobs.size() / 10);
+            std::unique_lock<std::mutex> lk(pmu);
+            while (!finished.load(std::memory_order_acquire)) {
+                pcv.wait_for(lk,
+                             std::chrono::milliseconds(tty ? 250
+                                                           : 2000));
+                const CampaignSummary s = agg.summary();
+                if (tty) {
+                    std::fprintf(
+                        pstream, "\r%-78s",
+                        progressLine(s, busy.load(), nworkers,
+                                     elapsed())
+                            .c_str());
+                    std::fflush(pstream);
+                } else if (s.done >= last_done + step ||
+                           s.done == s.total) {
+                    last_done = s.done;
+                    std::fprintf(
+                        pstream, "%s\n",
+                        progressLine(s, busy.load(), nworkers,
+                                     elapsed())
+                            .c_str());
+                }
+            }
+            if (tty)
+                std::fprintf(pstream, "\r%-78s\r", "");
+        });
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(std::size_t(nworkers));
+    for (int w = 0; w < nworkers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    {
+        std::lock_guard<std::mutex> lk(pmu);
+        finished.store(true, std::memory_order_release);
+    }
+    if (reporter.joinable()) {
+        pcv.notify_all();
+        reporter.join();
+    }
+
+    out.summary = agg.summary();
+    out.wallSeconds = elapsed();
+    return out;
+}
+
+} // namespace wb

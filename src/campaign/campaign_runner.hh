@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Multi-threaded campaign execution with per-job crash isolation.
+ *
+ * CampaignRunner expands a CampaignSpec into its deterministic job
+ * list and executes the jobs on a pool of worker threads (one per
+ * hardware thread by default, Options::jobs to override). Each job
+ * builds a self-contained wb::System — the simulator holds no
+ * mutable global state (see sim/log.hh for the contract) — so jobs
+ * are data-race free and results are bit-identical for any worker
+ * count or completion order.
+ *
+ * Crash isolation reuses the PR-1 exit taxonomy: a job ending in a
+ * TSO violation, deadlock, or panic is *recorded* (with a captured
+ * crash report, and a crash-report file when an output directory is
+ * configured) and the campaign keeps going. Only failures of the
+ * runner's own infrastructure — exceptions thrown outside the
+ * classified System::run(), e.g. while building the workload —
+ * are retried, up to CampaignSpec::maxRetries times, then recorded
+ * as "infra-failure".
+ */
+
+#ifndef WB_CAMPAIGN_CAMPAIGN_RUNNER_HH
+#define WB_CAMPAIGN_CAMPAIGN_RUNNER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hh"
+#include "system/crash_report.hh"
+
+namespace wb
+{
+
+/** Everything one finished job left behind. */
+struct JobResult
+{
+    JobSpec spec;
+    RunOutcome outcome = RunOutcome::Ok;
+    /** "ok" | "tso-violation" | "deadlock" | "cycle-cap" | "panic"
+     *  | "infra-failure". */
+    std::string verdict = "ok";
+    std::string detail;
+    SimResults results;
+    int attempts = 1;          //!< 1 + infrastructure retries
+    bool infraFailure = false; //!< retries exhausted
+    /** Captured crash-report JSON (abnormal outcomes only). */
+    std::string crashJson;
+    /** Where the crash report was written ("" if not). */
+    std::string crashReportPath;
+};
+
+/** Order-independent campaign tallies (live and final). */
+struct CampaignSummary
+{
+    std::size_t total = 0;
+    std::size_t done = 0;
+    std::size_t ok = 0;
+    std::size_t tsoViolations = 0;
+    std::size_t deadlocks = 0; //!< includes cycle-cap verdicts
+    std::size_t panics = 0;
+    std::size_t infraFailures = 0;
+    std::size_t incomplete = 0; //!< jobs with !results.completed
+    std::size_t retried = 0;    //!< jobs that needed >1 attempt
+
+    /** Abnormal outcomes a campaign should alarm on by default. */
+    std::size_t
+    hardFailures() const
+    {
+        return tsoViolations + panics + infraFailures;
+    }
+};
+
+/** The whole campaign's outcome, ordered by job index. */
+struct CampaignResult
+{
+    std::vector<JobResult> jobs;
+    CampaignSummary summary;
+    double wallSeconds = 0; //!< never serialised (non-deterministic)
+
+    /** Linear lookup by axis values; nullptr when absent. */
+    const JobResult *find(const std::string &workload,
+                          CommitMode mode, CoreClass cls,
+                          const std::string &variant = "",
+                          const std::string &mix = "clean",
+                          int seed_index = 0) const;
+};
+
+/** Thread-pool executor for one campaign. */
+class CampaignRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 = one per hardware thread. */
+        int jobs = 0;
+        /** Directory for crash-report files; "" = keep them only
+         *  in-memory (JobResult::crashJson). */
+        std::string outDir;
+        /** Live progress line (jobs done/total, ETA, worker
+         *  occupancy) on @c progressStream. Auto-degrades to
+         *  occasional plain lines when the stream is not a tty. */
+        bool progress = true;
+        std::FILE *progressStream = nullptr; //!< null = stderr
+    };
+
+    explicit CampaignRunner(const CampaignSpec &spec)
+        : CampaignRunner(spec, Options())
+    {}
+    CampaignRunner(const CampaignSpec &spec, Options opts);
+
+    /** Execute every job; blocks until the campaign finishes. */
+    CampaignResult run();
+
+    /** Resolved worker count. */
+    int workers() const { return _workers; }
+
+  private:
+    const CampaignSpec &_spec;
+    Options _opts;
+    int _workers;
+};
+
+} // namespace wb
+
+#endif // WB_CAMPAIGN_CAMPAIGN_RUNNER_HH

@@ -1,0 +1,412 @@
+#include "campaign/campaign_spec.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+#include "workload/benchmarks.hh"
+#include "workload/synthetic.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+/** splitmix64 step — the same generator rng.hh seeds through. */
+std::uint64_t
+splitmix(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mixString(std::uint64_t h, const std::string &s)
+{
+    // FNV-1a over the bytes, then one splitmix pass to spread.
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return splitmix(h);
+}
+
+} // namespace
+
+std::uint64_t
+deriveSeed(std::uint64_t base, const std::vector<std::string> &axes,
+           std::uint64_t n)
+{
+    std::uint64_t h = base;
+    h = splitmix(h);
+    for (const std::string &a : axes)
+        h = mixString(h, a);
+    h ^= n;
+    h = splitmix(h);
+    // Seed 0 is legal for Rng but reserved by some callers as "use
+    // the profile default"; steer clear of it.
+    return h ? h : 0x9e3779b97f4a7c15ULL;
+}
+
+std::size_t
+CampaignSpec::jobCount() const
+{
+    return workloads.size() * modes.size() * classes.size() *
+           variants.size() * mixes.size() *
+           std::size_t(seeds > 0 ? seeds : 0);
+}
+
+std::vector<JobSpec>
+CampaignSpec::expand() const
+{
+    std::vector<JobSpec> jobs;
+    jobs.reserve(jobCount());
+    for (const std::string &wl : workloads)
+        for (const CommitMode mode : modes)
+            for (const CoreClass cls : classes)
+                for (const std::string &variant : variants)
+                    for (const CampaignMix &mix : mixes)
+                        for (int s = 0; s < seeds; ++s) {
+                            JobSpec j;
+                            j.index = jobs.size();
+                            j.workload = wl;
+                            j.mode = mode;
+                            j.cls = cls;
+                            j.variant = variant;
+                            j.mixName = mix.name;
+                            j.faultSpec = mix.spec;
+                            j.seedIndex = s;
+                            j.seed = deriveSeed(
+                                baseSeed, {wl}, std::uint64_t(s));
+                            j.faultSeed = deriveSeed(
+                                baseSeed,
+                                {wl, commitModeName(mode),
+                                 mix.name},
+                                std::uint64_t(s));
+                            jobs.push_back(std::move(j));
+                        }
+    return jobs;
+}
+
+SystemConfig
+CampaignSpec::configFor(const JobSpec &job) const
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.core = makeCoreConfig(job.cls);
+    cfg.checker = checker;
+    cfg.maxCycles = maxCycles;
+    cfg.network = network;
+    cfg.ideal.jitter = jitter;
+    if (network == NetworkKind::Mesh) {
+        int w = 1;
+        while (w * w < cores)
+            ++w;
+        cfg.mesh.width = w;
+        cfg.mesh.height = (cores + w - 1) / w;
+    }
+    if (watchdogCycles)
+        cfg.watchdogCycles = watchdogCycles;
+    if (txnWarnCycles)
+        cfg.txnWarnCycles = txnWarnCycles;
+    if (txnDeadlockCycles)
+        cfg.txnDeadlockCycles = txnDeadlockCycles;
+    if (watchdogPollCycles)
+        cfg.watchdogPollCycles = watchdogPollCycles;
+    if (teardownDrainCycles)
+        cfg.teardownDrainCycles = teardownDrainCycles;
+    cfg.setMode(job.mode);
+    if (job.mode == CommitMode::OooUnsafe) {
+        cfg.core.lockdown = false;
+        cfg.mem.writersBlock = false;
+    }
+    if (!job.faultSpec.empty()) {
+        std::string err;
+        if (!parseFaultSpec(job.faultSpec, cfg.faults, err))
+            fatal("campaign mix '%s': bad fault spec: %s",
+                  job.mixName.c_str(), err.c_str());
+        cfg.faults.seed = job.faultSeed;
+    }
+    if (configHook)
+        configHook(job, cfg);
+    return cfg;
+}
+
+Workload
+CampaignSpec::workloadFor(const JobSpec &job) const
+{
+    if (workloadFactory)
+        return workloadFactory(job, *this);
+    SyntheticParams p = benchmarkProfile(job.workload, scale);
+    if (!useProfileSeed)
+        p.seed = job.seed;
+    return makeSynthetic(p, cores);
+}
+
+std::string
+CampaignSpec::cellKey(const JobSpec &job) const
+{
+    std::string key;
+    auto append = [&key](const std::string &part) {
+        if (!key.empty())
+            key += '/';
+        key += part;
+    };
+    if (workloads.size() > 1)
+        append(job.workload);
+    append(commitModeName(job.mode));
+    if (classes.size() > 1)
+        append(coreClassName(job.cls));
+    if (variants.size() > 1 && !job.variant.empty())
+        append(job.variant);
+    append(job.mixName);
+    return key;
+}
+
+std::string
+CampaignSpec::validate() const
+{
+    if (workloads.empty())
+        return "no workloads";
+    if (modes.empty() || classes.empty() || variants.empty() ||
+        mixes.empty())
+        return "an axis is empty";
+    if (seeds < 1)
+        return "seeds must be >= 1";
+    if (cores < 1)
+        return "cores must be >= 1";
+    if (maxRetries < 0)
+        return "retries must be >= 0";
+    if (!workloadFactory)
+        for (const std::string &wl : workloads) {
+            bool known = false;
+            for (const std::string &n : benchmarkNames())
+                if (n == wl)
+                    known = true;
+            if (!known)
+                return "unknown workload '" + wl + "'";
+        }
+    for (const CampaignMix &mix : mixes)
+        if (!mix.spec.empty()) {
+            FaultConfig fc;
+            std::string err;
+            if (!parseFaultSpec(mix.spec, fc, err))
+                return "mix '" + mix.name + "': " + err;
+        }
+    return "";
+}
+
+bool
+parseCommitMode(const std::string &s, CommitMode &out)
+{
+    if (s == "in-order")
+        out = CommitMode::InOrder;
+    else if (s == "ooo-safe")
+        out = CommitMode::OooSafe;
+    else if (s == "ooo-wb" || s == "ooo-writersblock")
+        out = CommitMode::OooWB;
+    else if (s == "ooo-unsafe")
+        out = CommitMode::OooUnsafe;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseCoreClass(const std::string &s, CoreClass &out)
+{
+    if (s == "SLM" || s == "slm")
+        out = CoreClass::SLM;
+    else if (s == "NHM" || s == "nhm")
+        out = CoreClass::NHM;
+    else if (s == "HSW" || s == "hsw")
+        out = CoreClass::HSW;
+    else
+        return false;
+    return true;
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Split on spaces and/or commas. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ' ' || c == '\t' || c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+bool
+parseBool(const std::string &v, bool &out)
+{
+    if (v == "on" || v == "true" || v == "1" || v == "yes")
+        out = true;
+    else if (v == "off" || v == "false" || v == "0" || v == "no")
+        out = false;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+parseCampaignSpec(std::istream &in, CampaignSpec &out,
+                  std::string &err)
+{
+    // Directives reset the axis they set, so a manifest fully
+    // describes its sweep; unset axes keep the defaults.
+    bool sawMix = false;
+    std::string line;
+    int lineno = 0;
+    auto fail = [&](const std::string &what) {
+        err = "line " + std::to_string(lineno) + ": " + what;
+        return false;
+    };
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        // "mix NAME [SPEC]" directive (fault specs contain '=').
+        if (line.rfind("mix ", 0) == 0 || line == "mix") {
+            std::istringstream ls(line);
+            std::string kw, name, spec;
+            ls >> kw >> name;
+            if (name.empty())
+                return fail("mix needs a name");
+            ls >> spec; // optional; fault specs have no spaces
+            if (!sawMix) {
+                out.mixes.clear();
+                sawMix = true;
+            }
+            out.mixes.push_back({name, spec});
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail("expected 'key = value' or 'mix NAME SPEC'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (value.empty())
+            return fail("empty value for '" + key + "'");
+
+        if (key == "name") {
+            out.name = value;
+        } else if (key == "workloads") {
+            out.workloads = splitList(value);
+        } else if (key == "modes") {
+            out.modes.clear();
+            for (const std::string &m : splitList(value)) {
+                CommitMode mode;
+                if (!parseCommitMode(m, mode))
+                    return fail("unknown mode '" + m + "'");
+                out.modes.push_back(mode);
+            }
+        } else if (key == "classes") {
+            out.classes.clear();
+            for (const std::string &c : splitList(value)) {
+                CoreClass cls;
+                if (!parseCoreClass(c, cls))
+                    return fail("unknown class '" + c + "'");
+                out.classes.push_back(cls);
+            }
+        } else if (key == "seeds") {
+            out.seeds = std::atoi(value.c_str());
+        } else if (key == "base-seed") {
+            out.baseSeed = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (key == "profile-seed") {
+            if (!parseBool(value, out.useProfileSeed))
+                return fail("bad boolean '" + value + "'");
+        } else if (key == "cores") {
+            out.cores = std::atoi(value.c_str());
+        } else if (key == "scale") {
+            out.scale = std::atof(value.c_str());
+        } else if (key == "network") {
+            if (value == "mesh")
+                out.network = NetworkKind::Mesh;
+            else if (value == "ideal")
+                out.network = NetworkKind::Ideal;
+            else
+                return fail("unknown network '" + value + "'");
+        } else if (key == "jitter") {
+            out.jitter = Tick(std::strtoull(value.c_str(), nullptr,
+                                            0));
+        } else if (key == "checker") {
+            if (!parseBool(value, out.checker))
+                return fail("bad boolean '" + value + "'");
+        } else if (key == "max-cycles") {
+            out.maxCycles = Tick(std::strtoull(value.c_str(),
+                                               nullptr, 0));
+        } else if (key == "watchdog") {
+            out.watchdogCycles = Tick(std::strtoull(value.c_str(),
+                                                    nullptr, 0));
+        } else if (key == "txn-warn") {
+            out.txnWarnCycles = Tick(std::strtoull(value.c_str(),
+                                                   nullptr, 0));
+        } else if (key == "txn-deadlock") {
+            out.txnDeadlockCycles = Tick(std::strtoull(
+                value.c_str(), nullptr, 0));
+        } else if (key == "poll") {
+            out.watchdogPollCycles = Tick(std::strtoull(
+                value.c_str(), nullptr, 0));
+        } else if (key == "drain") {
+            out.teardownDrainCycles = Tick(std::strtoull(
+                value.c_str(), nullptr, 0));
+        } else if (key == "retries") {
+            out.maxRetries = std::atoi(value.c_str());
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    const std::string bad = out.validate();
+    if (!bad.empty()) {
+        err = bad;
+        return false;
+    }
+    return true;
+}
+
+bool
+loadCampaignSpec(const std::string &path, CampaignSpec &out,
+                 std::string &err)
+{
+    std::ifstream f(path);
+    if (!f) {
+        err = "cannot open " + path;
+        return false;
+    }
+    return parseCampaignSpec(f, out, err);
+}
+
+} // namespace wb

@@ -1,0 +1,111 @@
+#include "campaign/fault_invariants.hh"
+
+#include <sstream>
+
+#include "workload/synthetic.hh"
+
+namespace wb
+{
+
+std::vector<std::string>
+checkFaultInvariants(const CampaignResult &result)
+{
+    std::vector<std::string> failures;
+    for (const JobResult &r : result.jobs) {
+        auto fail = [&](const std::string &what) {
+            std::ostringstream os;
+            os << "job " << r.spec.index << " ("
+               << commitModeName(r.spec.mode) << "/"
+               << r.spec.mixName << " seed " << r.spec.seed
+               << "): " << what << " (verdict=" << r.verdict
+               << " detail=" << r.detail << ")";
+            failures.push_back(os.str());
+        };
+
+        // Invariant 5: infrastructure failures are retried away.
+        if (r.infraFailure) {
+            fail("infrastructure failure survived retries");
+            continue;
+        }
+
+        // Invariant 1: never a TSO violation, never unclassified.
+        if (r.outcome == RunOutcome::TsoViolation)
+            fail("TSO violation under faults");
+        if (r.verdict.empty())
+            fail("unclassified outcome");
+
+        // Invariant 2: a clean completion really is clean.
+        if (r.outcome == RunOutcome::Ok &&
+            (r.results.leakedMessages != 0 || !r.results.completed))
+            fail("ok verdict with leaks/incomplete");
+
+        // Invariant 3: a lost message is always diagnosed as a
+        // deadlock, and the crash report names a stuck MSHR or the
+        // undelivered message.
+        if (r.results.faultsDropped > 0) {
+            if (r.outcome != RunOutcome::Deadlock)
+                fail("drop not diagnosed as deadlock");
+            if (r.crashJson.find("\"mshrs\":[{") ==
+                    std::string::npos &&
+                r.crashJson.find("\"dropped\":true") ==
+                    std::string::npos)
+                fail("crash dump names no stuck txn");
+        }
+
+        // Invariant 4: the fault-free control column never
+        // degrades.
+        if (r.spec.faultSpec.empty() &&
+            r.outcome != RunOutcome::Ok)
+            fail("fault-free control failed");
+    }
+    return failures;
+}
+
+CampaignSpec
+faultCampaignSpec(int seeds)
+{
+    CampaignSpec spec;
+    spec.name = "fault-soak";
+    spec.workloads = {"fault-campaign"};
+    spec.modes = {CommitMode::InOrder, CommitMode::OooSafe,
+                  CommitMode::OooWB};
+    spec.mixes = {
+        {"clean", ""},
+        {"delay", "delay=0.02:150"},
+        {"reorder", "reorder=0.04:8:64"},
+        {"dup", "dup=0.015"},
+        {"drop", "drop=0.008:2"},
+        {"storm", "delay=0.02:100,reorder=0.03:6:48,dup=0.01"},
+    };
+    spec.seeds = seeds;
+    spec.baseSeed = 1000;
+    spec.cores = 4;
+    spec.network = NetworkKind::Ideal;
+    spec.jitter = 8;
+    spec.checker = true;
+    spec.maxCycles = 4'000'000;
+    spec.watchdogCycles = 40'000;
+    spec.txnWarnCycles = 6'000;
+    spec.txnDeadlockCycles = 20'000;
+    spec.watchdogPollCycles = 256;
+    spec.teardownDrainCycles = 25'000;
+    spec.workloadFactory = [](const JobSpec &job,
+                              const CampaignSpec &s) {
+        SyntheticParams p;
+        p.name = "fault-campaign";
+        p.iterations = 12;
+        p.bodyOps = 20;
+        p.privateWords = 512;
+        p.sharedWords = 128;
+        p.memRatio = 0.45;
+        p.storeRatio = 0.35;
+        p.sharedRatio = 0.35;
+        p.lockRatio = 0.02;
+        p.numLocks = 2;
+        p.seed = job.seed;
+        return makeSynthetic(p, s.cores);
+    };
+    return spec;
+}
+
+} // namespace wb

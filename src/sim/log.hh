@@ -2,11 +2,27 @@
  * @file
  * Lightweight trace/debug logging with per-component flags, in the
  * spirit of gem5's DPRINTF. Disabled components cost one branch.
+ *
+ * Thread-safety contract: the trace mask is the simulator's only
+ * process-global mutable state, and it is atomic, so concurrent
+ * wb::System instances (one per campaign worker thread) are
+ * data-race free as long as each System is driven from a single
+ * thread. Everything else is per-instance: StatRegistry and
+ * EventQueue are owned by their System (and are NOT internally
+ * synchronised — never share a System across threads), and Rng
+ * holds its state by value with no statics. Trace lines from
+ * concurrent systems may interleave, but each line is emitted with
+ * a single stdio call, so lines stay intact. The same rule covers
+ * watchdog diagnostics: System::dumpStateToStderr() formats into a
+ * private buffer first — never write iostream manipulators to
+ * std::cerr from simulator code, they mutate the shared stream's
+ * format flags.
  */
 
 #ifndef WB_SIM_LOG_HH
 #define WB_SIM_LOG_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
@@ -29,19 +45,29 @@ enum class LogFlag : unsigned
     Workload = 1u << 7,
 };
 
-/** Global trace configuration (off by default). */
+/** Global trace configuration (off by default; atomic, so it may
+ *  be toggled while campaign workers are running). */
 class Trace
 {
   public:
     /** Enable the given flag bits. */
-    static void enable(unsigned flags) { mask() |= flags; }
-    static void enable(LogFlag f) { mask() |= unsigned(f); }
-    static void disableAll() { mask() = 0; }
+    static void
+    enable(unsigned flags)
+    {
+        mask().fetch_or(flags, std::memory_order_relaxed);
+    }
+    static void enable(LogFlag f) { enable(unsigned(f)); }
+    static void
+    disableAll()
+    {
+        mask().store(0, std::memory_order_relaxed);
+    }
 
     static bool
     active(LogFlag f)
     {
-        return (mask() & unsigned(f)) != 0;
+        return (mask().load(std::memory_order_relaxed) &
+                unsigned(f)) != 0;
     }
 
     /** printf-style trace line, prefixed with tick and unit name. */
@@ -53,10 +79,10 @@ class Trace
         ;
 
   private:
-    static unsigned &
+    static std::atomic<unsigned> &
     mask()
     {
-        static unsigned m = 0;
+        static std::atomic<unsigned> m{0};
         return m;
     }
 };

@@ -136,7 +136,7 @@ System::run()
                          static_cast<unsigned long long>(
                              _cfg.watchdogCycles),
                          static_cast<unsigned long long>(_cycle));
-            dumpState(std::cerr);
+            dumpStateToStderr();
             break;
         }
 
@@ -178,7 +178,7 @@ System::pollTransactionAges()
                      who.c_str(),
                      static_cast<unsigned long long>(age),
                      static_cast<unsigned long long>(_cycle));
-        dumpState(std::cerr);
+        dumpStateToStderr();
         return true;
     }
     if (age >= _cfg.txnWarnCycles) {
@@ -197,7 +197,7 @@ System::pollTransactionAges()
             age >= (_cfg.txnWarnCycles + _cfg.txnDeadlockCycles) /
                        2) {
             _txnDumped = true;
-            dumpState(std::cerr);
+            dumpStateToStderr();
         }
     }
     return false;
@@ -330,7 +330,7 @@ System::drainTeardown()
                      "%s\n",
                      static_cast<unsigned long long>(_cycle),
                      why.c_str());
-        dumpState(std::cerr);
+        dumpStateToStderr();
     }
 }
 
@@ -386,6 +386,14 @@ System::dumpState(std::ostream &os) const
         l1->dumpState(os);
     for (const auto &llc : _llcs)
         llc->dumpState(os);
+}
+
+void
+System::dumpStateToStderr() const
+{
+    std::ostringstream os;
+    dumpState(os);
+    std::fputs(os.str().c_str(), stderr);
 }
 
 std::uint64_t

@@ -136,7 +136,17 @@ struct SimResults
     }
 };
 
-/** The full simulated machine. */
+/**
+ * The full simulated machine.
+ *
+ * Thread-safety: a System is entirely self-contained — event queue,
+ * stat registry, RNGs, fault injector and checker are all owned by
+ * the instance, and the only process-global mutable state in the
+ * simulator is the atomic trace mask (sim/log.hh). Concurrent
+ * System instances on different threads are therefore data-race
+ * free (the campaign runner relies on this); a single instance is
+ * NOT internally synchronised and must be driven from one thread.
+ */
 class System
 {
   public:
@@ -199,6 +209,15 @@ class System
 
     /** Dump all stuck-component state (watchdog diagnostics). */
     void dumpState(std::ostream &os) const;
+
+    /**
+     * dumpState formatted into a private buffer and emitted as one
+     * stdio call. Watchdog diagnostics use this instead of writing
+     * std::cerr directly: iostream manipulators mutate the shared
+     * stream's format flags, which is a data race when concurrent
+     * System instances (e.g. a campaign) escalate at once.
+     */
+    void dumpStateToStderr() const;
 
     /**
      * Functional read of the current globally-visible value of a

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * wbcampaign — manifest-driven, multi-threaded experiment sweeps.
+ *
+ * Loads a campaign manifest (docs/CAMPAIGN.md) or a built-in
+ * campaign, expands it into a deterministic job list, and executes
+ * the jobs on a worker pool with per-job crash isolation. Aggregate
+ * JSON/CSV output is byte-identical for any -j, so reports can be
+ * diffed across machines and worker counts.
+ *
+ *   wbcampaign --spec sweep.campaign -j8 --json results.json
+ *   wbcampaign --builtin fault --quick -j$(nproc)
+ *   wbcampaign --spec sweep.campaign --dry-run
+ *
+ * Exit codes: 0 campaign ran and holds, 1 failures, 64 usage error.
+ * A TSO violation or infrastructure failure always fails. With
+ * --check-faults the invariant checker judges classified
+ * panics/deadlocks (expected under dup/drop mixes); without it a
+ * panic fails, and --strict additionally fails on
+ * deadlock/incomplete.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "campaign/campaign_aggregator.hh"
+#include "campaign/campaign_runner.hh"
+#include "campaign/campaign_spec.hh"
+#include "campaign/fault_invariants.hh"
+
+namespace
+{
+
+using namespace wb;
+
+void
+usage()
+{
+    std::printf(
+        "usage: wbcampaign [options]\n"
+        "  --spec FILE       campaign manifest "
+        "(docs/CAMPAIGN.md)\n"
+        "  --builtin NAME    built-in campaign: fault\n"
+        "  -j, --jobs N      worker threads "
+        "(default: one per hardware thread)\n"
+        "  --seeds N         override the spec's seed count\n"
+        "  --quick           shorthand for --seeds 4\n"
+        "  --out DIR         write per-job crash reports here\n"
+        "  --json FILE       aggregate JSON report (- for stdout)\n"
+        "  --csv FILE        per-job CSV (- for stdout)\n"
+        "  --check-faults    assert the fault-campaign invariants\n"
+        "                    (default for --builtin fault; the\n"
+        "                    invariants then judge classified\n"
+        "                    panics/deadlocks)\n"
+        "  --strict          without --check-faults, deadlocks and\n"
+        "                    incomplete runs also fail\n"
+        "  --dry-run         print the expanded job list and exit\n"
+        "  --no-progress     disable the live progress line\n"
+        "exit codes: 0 campaign holds, 1 failures, 64 usage\n");
+}
+
+void
+printMatrix(const CampaignSpec &spec, const CampaignResult &result)
+{
+    std::printf("%-40s %6s %9s %6s %5s %6s %5s\n", "cell", "ok",
+                "deadlock", "panic", "tso", "infra", "inc");
+    for (const CellSummary &c : reduceCells(spec, result.jobs))
+        std::printf("%-40s %6zu %9zu %6zu %5zu %6zu %5zu\n",
+                    c.key.c_str(), c.ok, c.deadlocks, c.panics,
+                    c.tsoViolations, c.infraFailures,
+                    c.incomplete);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wb;
+
+    std::string spec_path;
+    std::string builtin;
+    int jobs = 0;
+    int seeds_override = 0;
+    std::string out_dir;
+    std::string json_path;
+    std::string csv_path;
+    bool check_faults = false;
+    bool strict = false;
+    bool dry_run = false;
+    bool progress = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(64);
+            }
+            return argv[++i];
+        };
+        if (a == "--spec")
+            spec_path = next();
+        else if (a == "--builtin")
+            builtin = next();
+        else if (a == "-j" || a == "--jobs")
+            jobs = std::atoi(next());
+        else if (a.rfind("-j", 0) == 0 && a.size() > 2 &&
+                 std::isdigit(static_cast<unsigned char>(a[2])))
+            jobs = std::atoi(a.c_str() + 2);
+        else if (a == "--seeds")
+            seeds_override = std::atoi(next());
+        else if (a == "--quick")
+            seeds_override = 4;
+        else if (a == "--out")
+            out_dir = next();
+        else if (a == "--json")
+            json_path = next();
+        else if (a == "--csv")
+            csv_path = next();
+        else if (a == "--check-faults")
+            check_faults = true;
+        else if (a == "--strict")
+            strict = true;
+        else if (a == "--dry-run")
+            dry_run = true;
+        else if (a == "--no-progress")
+            progress = false;
+        else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 64;
+        }
+    }
+
+    if (spec_path.empty() == builtin.empty()) {
+        std::fprintf(stderr, "need exactly one of --spec / "
+                             "--builtin\n\n");
+        usage();
+        return 64;
+    }
+
+    CampaignSpec spec;
+    if (!builtin.empty()) {
+        if (builtin == "fault") {
+            spec = faultCampaignSpec();
+            check_faults = true;
+        } else {
+            std::fprintf(stderr, "unknown builtin '%s' "
+                                 "(available: fault)\n",
+                         builtin.c_str());
+            return 64;
+        }
+    } else {
+        std::string err;
+        if (!loadCampaignSpec(spec_path, spec, err)) {
+            std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
+                         err.c_str());
+            return 64;
+        }
+    }
+    if (seeds_override > 0)
+        spec.seeds = seeds_override;
+    {
+        const std::string bad = spec.validate();
+        if (!bad.empty()) {
+            std::fprintf(stderr, "campaign spec: %s\n",
+                         bad.c_str());
+            return 64;
+        }
+    }
+
+    if (dry_run) {
+        std::printf("campaign %s: %zu jobs\n", spec.name.c_str(),
+                    spec.jobCount());
+        for (const JobSpec &j : spec.expand())
+            std::printf(
+                "%5zu  %-16s %-16s %-4s %-10s seed[%d]=%llu\n",
+                j.index, j.workload.c_str(),
+                commitModeName(j.mode), coreClassName(j.cls),
+                j.mixName.c_str(), j.seedIndex,
+                static_cast<unsigned long long>(j.seed));
+        return 0;
+    }
+
+    CampaignRunner::Options opts;
+    opts.jobs = jobs;
+    opts.outDir = out_dir;
+    opts.progress = progress;
+    CampaignRunner runner(spec, opts);
+
+    std::printf("campaign %s: %zu jobs on %d worker%s\n",
+                spec.name.c_str(), spec.jobCount(),
+                runner.workers(), runner.workers() == 1 ? "" : "s");
+    const CampaignResult result = runner.run();
+
+    printMatrix(spec, result);
+    const CampaignSummary &s = result.summary;
+    std::printf("\n%zu jobs: %zu ok, %zu deadlock, %zu panic, "
+                "%zu tso, %zu infra, %zu incomplete, %zu retried "
+                "(%.1fs wall)\n",
+                s.done, s.ok, s.deadlocks, s.panics,
+                s.tsoViolations, s.infraFailures, s.incomplete,
+                s.retried, result.wallSeconds);
+
+    // TSO violations and infrastructure failures always fail the
+    // campaign. Classified panics/deadlocks fail it too — unless
+    // the fault invariants are the authority: under dup/drop mixes
+    // those are the *expected* outcomes, and the invariant checker
+    // decides whether each one is legitimate.
+    int failures = int(s.tsoViolations + s.infraFailures);
+    if (check_faults) {
+        const auto broken = checkFaultInvariants(result);
+        for (const std::string &b : broken)
+            std::fprintf(stderr, "FAIL %s\n", b.c_str());
+        failures += int(broken.size());
+        std::printf("fault invariants: %s (%zu violation%s)\n",
+                    broken.empty() ? "hold" : "VIOLATED",
+                    broken.size(),
+                    broken.size() == 1 ? "" : "s");
+    } else {
+        failures += int(s.panics);
+        if (strict)
+            failures += int(s.deadlocks + s.incomplete);
+    }
+
+    auto emit = [&](const std::string &path, auto writer) {
+        if (path.empty())
+            return;
+        if (path == "-") {
+            writer(std::cout);
+        } else {
+            std::ofstream f(path);
+            if (!f) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             path.c_str());
+                ++failures;
+                return;
+            }
+            writer(f);
+        }
+    };
+    emit(json_path, [&](std::ostream &os) {
+        writeCampaignJson(os, spec, result);
+    });
+    emit(csv_path, [&](std::ostream &os) {
+        writeCampaignCsv(os, result);
+    });
+
+    return failures ? 1 : 0;
+}
