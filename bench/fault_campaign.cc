@@ -12,6 +12,13 @@
  * transaction fails the campaign.
  *
  *   fault_campaign [--seeds N] [--quick] [-j N] [--json FILE]
+ *                  [--recovery] [--verify-equivalence]
+ *
+ * --recovery arms the loss-recovery layer (ARQ retransmission +
+ * endpoint dedup, docs/RESILIENCE.md) so in-budget drops heal
+ * instead of wedging; --verify-equivalence implies it and replays
+ * every faulted run fault-free, failing the campaign on any
+ * end-state divergence.
  *
  * Results are bit-identical for any -j. Exits 0 when the campaign
  * holds, 1 otherwise, and prints a mode x mix outcome matrix.
@@ -34,6 +41,8 @@ main(int argc, char **argv)
 
     int seeds = 28; // 3 modes x 6 mixes x 28 seeds = 504 runs
     int jobs = 0;
+    bool recovery = false;
+    bool verify_equivalence = false;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
@@ -44,17 +53,25 @@ main(int argc, char **argv)
             jobs = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--recovery"))
+            recovery = true;
+        else if (!std::strcmp(argv[i], "--verify-equivalence"))
+            verify_equivalence = true;
         else {
             std::fprintf(stderr,
                          "usage: fault_campaign [--seeds N] "
-                         "[--quick] [-j N] [--json FILE]\n");
+                         "[--quick] [-j N] [--json FILE] "
+                         "[--recovery] [--verify-equivalence]\n");
             return 1;
         }
     }
 
-    const CampaignSpec spec = faultCampaignSpec(seeds);
+    CampaignSpec spec = faultCampaignSpec(seeds);
+    if (recovery || verify_equivalence)
+        spec.recovery.enabled = true;
     CampaignRunner::Options opts;
     opts.jobs = jobs;
+    opts.verifyEquivalence = verify_equivalence;
     CampaignRunner runner(spec, opts);
     const CampaignResult result = runner.run();
 

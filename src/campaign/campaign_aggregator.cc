@@ -31,6 +31,11 @@ CampaignAggregator::record(const JobResult &r)
         ++_sum.incomplete;
     if (r.attempts > 1)
         ++_sum.retried;
+    if (r.equivalenceChecked) {
+        ++_sum.equivalenceChecked;
+        if (!r.equivalenceMatch)
+            ++_sum.equivalenceMismatches;
+    }
 }
 
 CampaignSummary
@@ -70,12 +75,19 @@ reduceCells(const CampaignSpec &spec,
         }
         if (!r.results.completed)
             ++c.incomplete;
+        if (r.equivalenceChecked) {
+            ++c.equivalenceChecked;
+            if (!r.equivalenceMatch)
+                ++c.equivalenceMismatches;
+        }
         c.cycles.add(r.results.cycles);
         c.instructions.add(r.results.instructions);
         c.wbEntries.add(r.results.wbEntries);
         c.uncacheableReads.add(r.results.uncacheableReads);
         c.faultsDropped.add(r.results.faultsDropped);
         c.leakedMessages.add(r.results.leakedMessages);
+        c.retransmits.add(r.results.retransmits);
+        c.recoveredMessages.add(r.results.recoveredMessages);
     }
     return cells;
 }
@@ -107,6 +119,10 @@ writeSummary(JsonWriter &w, const CampaignSummary &s)
     w.field("infraFailures", std::uint64_t(s.infraFailures));
     w.field("incomplete", std::uint64_t(s.incomplete));
     w.field("retried", std::uint64_t(s.retried));
+    w.field("equivalenceChecked",
+            std::uint64_t(s.equivalenceChecked));
+    w.field("equivalenceMismatches",
+            std::uint64_t(s.equivalenceMismatches));
     w.closeObject();
 }
 
@@ -178,6 +194,10 @@ writeCampaignJson(std::ostream &os, const CampaignSpec &spec,
         w.field("panics", std::uint64_t(c.panics));
         w.field("infraFailures", std::uint64_t(c.infraFailures));
         w.field("incomplete", std::uint64_t(c.incomplete));
+        w.field("equivalenceChecked",
+                std::uint64_t(c.equivalenceChecked));
+        w.field("equivalenceMismatches",
+                std::uint64_t(c.equivalenceMismatches));
         w.closeObject();
         writeMetric(w, "cycles", c.cycles);
         writeMetric(w, "instructions", c.instructions);
@@ -185,6 +205,8 @@ writeCampaignJson(std::ostream &os, const CampaignSpec &spec,
         writeMetric(w, "uncacheableReads", c.uncacheableReads);
         writeMetric(w, "faultsDropped", c.faultsDropped);
         writeMetric(w, "leakedMessages", c.leakedMessages);
+        writeMetric(w, "retransmits", c.retransmits);
+        writeMetric(w, "recoveredMessages", c.recoveredMessages);
         w.closeObject();
     }
     w.closeArray();
@@ -223,6 +245,17 @@ writeCampaignJson(std::ostream &os, const CampaignSpec &spec,
         w.field("faultsDropped", res.faultsDropped);
         w.field("faultsDuplicated", res.faultsDuplicated);
         w.field("faultsDelayed", res.faultsDelayed);
+        w.field("recoveryEnabled", res.recoveryEnabled);
+        w.field("retransmits", res.retransmits);
+        w.field("recoveredMessages", res.recoveredMessages);
+        w.field("arqReissues", res.arqReissues);
+        w.field("arqRecovered", res.arqRecovered);
+        w.field("dedupHits", res.dedupHits);
+        w.field("equivalence",
+                std::string(r.equivalenceChecked
+                                ? (r.equivalenceMatch ? "match"
+                                                      : "mismatch")
+                                : ""));
         w.field("tsoViolations",
                 std::uint64_t(res.tsoViolations));
         w.field("crashReport", r.crashReportPath);
@@ -241,7 +274,9 @@ writeCampaignCsv(std::ostream &os, const CampaignResult &result)
           "faultSeed,verdict,exitCode,attempts,completed,cycles,"
           "instructions,loads,stores,atomics,wbEntries,"
           "uncacheableReads,messages,leakedMessages,faultsDropped,"
-          "faultsDuplicated,faultsDelayed,tsoViolations\n";
+          "faultsDuplicated,faultsDelayed,tsoViolations,"
+          "retransmits,recoveredMessages,arqReissues,dedupHits,"
+          "equivalence\n";
     for (const JobResult &r : result.jobs) {
         const SimResults &res = r.results;
         os << r.spec.index << ',' << r.spec.workload << ','
@@ -258,7 +293,13 @@ writeCampaignCsv(std::ostream &os, const CampaignResult &result)
            << res.messages << ',' << res.leakedMessages << ','
            << res.faultsDropped << ',' << res.faultsDuplicated
            << ',' << res.faultsDelayed << ','
-           << res.tsoViolations << '\n';
+           << res.tsoViolations << ',' << res.retransmits << ','
+           << res.recoveredMessages << ',' << res.arqReissues
+           << ',' << res.dedupHits << ','
+           << (r.equivalenceChecked
+                   ? (r.equivalenceMatch ? "match" : "mismatch")
+                   : "")
+           << '\n';
     }
 }
 

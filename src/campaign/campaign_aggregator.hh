@@ -60,12 +60,17 @@ struct CellSummary
     std::size_t infraFailures = 0;
     std::size_t incomplete = 0;
 
+    std::size_t equivalenceChecked = 0;
+    std::size_t equivalenceMismatches = 0;
+
     MetricSummary cycles;
     MetricSummary instructions;
     MetricSummary wbEntries;
     MetricSummary uncacheableReads;
     MetricSummary faultsDropped;
     MetricSummary leakedMessages;
+    MetricSummary retransmits;
+    MetricSummary recoveredMessages;
 };
 
 /** Live tallies; every member function is thread-safe. */

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "campaign/campaign_aggregator.hh"
+#include "recovery/equivalence.hh"
 #include "sim/log.hh"
 
 namespace wb
@@ -24,7 +25,7 @@ namespace
  *  runner-infrastructure failure (workload/config construction). */
 JobResult
 executeOnce(const CampaignSpec &spec, const JobSpec &job,
-            const std::string &out_dir)
+            const std::string &out_dir, bool verify_equivalence)
 {
     JobResult res;
     res.spec = job;
@@ -45,6 +46,25 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
     res.verdict = cr.verdict;
     res.detail = cr.detail;
     res.results = cr.results;
+
+    // Equivalence mode: a faulty job that completed cleanly must be
+    // observationally identical to the fault-free run of the same
+    // (workload, seed). The twin runs inside this worker, so -j1
+    // and -j8 campaigns still produce byte-identical output.
+    if (verify_equivalence && !job.faultSpec.empty() &&
+        cr.outcome == RunOutcome::Ok && cr.results.completed) {
+        const EndState recovered = captureEndState(sys);
+        const EndState reference = runReference(cfg, wl);
+        const EquivalenceReport eq =
+            compareEndStates(recovered, reference);
+        res.equivalenceChecked = true;
+        res.equivalenceMatch = eq.match;
+        res.equivalenceDetail = eq.divergence;
+        if (!eq.match) {
+            res.verdict = "equivalence-mismatch";
+            res.detail = eq.divergence;
+        }
+    }
 
     if (cr.outcome != RunOutcome::Ok) {
         std::ostringstream dump;
@@ -67,12 +87,14 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
 
 JobResult
 executeWithRetry(const CampaignSpec &spec, const JobSpec &job,
-                 const std::string &out_dir)
+                 const std::string &out_dir,
+                 bool verify_equivalence)
 {
     std::string last_err = "unknown infrastructure failure";
     for (int attempt = 0; attempt <= spec.maxRetries; ++attempt) {
         try {
-            JobResult res = executeOnce(spec, job, out_dir);
+            JobResult res = executeOnce(spec, job, out_dir,
+                                        verify_equivalence);
             res.attempts = attempt + 1;
             return res;
         } catch (const std::exception &e) {
@@ -172,7 +194,8 @@ CampaignRunner::run()
             // Each slot is written by exactly one worker; the
             // joining thread synchronises via thread::join.
             out.jobs[i] =
-                executeWithRetry(_spec, jobs[i], _opts.outDir);
+                executeWithRetry(_spec, jobs[i], _opts.outDir,
+                                 _opts.verifyEquivalence);
             agg.record(out.jobs[i]);
             busy.fetch_sub(1, std::memory_order_relaxed);
         }

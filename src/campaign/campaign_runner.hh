@@ -49,6 +49,13 @@ struct JobResult
     std::string crashJson;
     /** Where the crash report was written ("" if not). */
     std::string crashReportPath;
+
+    /** End-state equivalence against the fault-free twin of the
+     *  same (workload, seed). Checked only in verify-equivalence
+     *  mode, for faulty jobs that completed cleanly. */
+    bool equivalenceChecked = false;
+    bool equivalenceMatch = false;
+    std::string equivalenceDetail; //!< first divergence ("" = match)
 };
 
 /** Order-independent campaign tallies (live and final). */
@@ -63,12 +70,15 @@ struct CampaignSummary
     std::size_t infraFailures = 0;
     std::size_t incomplete = 0; //!< jobs with !results.completed
     std::size_t retried = 0;    //!< jobs that needed >1 attempt
+    std::size_t equivalenceChecked = 0;
+    std::size_t equivalenceMismatches = 0;
 
     /** Abnormal outcomes a campaign should alarm on by default. */
     std::size_t
     hardFailures() const
     {
-        return tsoViolations + panics + infraFailures;
+        return tsoViolations + panics + infraFailures +
+               equivalenceMismatches;
     }
 };
 
@@ -103,6 +113,10 @@ class CampaignRunner
          *  occasional plain lines when the stream is not a tty. */
         bool progress = true;
         std::FILE *progressStream = nullptr; //!< null = stderr
+        /** After every faulty job that completes cleanly, re-run
+         *  its fault-free twin (faults cleared, recovery off) and
+         *  compare end states; a divergence is a hard failure. */
+        bool verifyEquivalence = false;
     };
 
     explicit CampaignRunner(const CampaignSpec &spec)

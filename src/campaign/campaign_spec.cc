@@ -129,6 +129,7 @@ CampaignSpec::configFor(const JobSpec &job) const
                   job.mixName.c_str(), err.c_str());
         cfg.faults.seed = job.faultSeed;
     }
+    cfg.recovery = recovery;
     if (configHook)
         configHook(job, cfg);
     return cfg;
@@ -195,6 +196,11 @@ CampaignSpec::validate() const
             if (!parseFaultSpec(mix.spec, fc, err))
                 return "mix '" + mix.name + "': " + err;
         }
+    if (recovery.enabled &&
+        (recovery.pollCycles == 0 ||
+         recovery.retryTimeoutCycles == 0 ||
+         recovery.retransmitBaseCycles == 0))
+        return "recovery cycle parameters must be >= 1";
     return "";
 }
 
@@ -385,6 +391,24 @@ parseCampaignSpec(std::istream &in, CampaignSpec &out,
                 value.c_str(), nullptr, 0));
         } else if (key == "retries") {
             out.maxRetries = std::atoi(value.c_str());
+        } else if (key == "recovery") {
+            if (!parseBool(value, out.recovery.enabled))
+                return fail("bad boolean '" + value + "'");
+        } else if (key == "retry-timeout") {
+            out.recovery.retryTimeoutCycles = Tick(
+                std::strtoull(value.c_str(), nullptr, 0));
+        } else if (key == "retry-budget") {
+            out.recovery.retryBudget =
+                unsigned(std::strtoul(value.c_str(), nullptr, 0));
+        } else if (key == "recovery-poll") {
+            out.recovery.pollCycles = Tick(
+                std::strtoull(value.c_str(), nullptr, 0));
+        } else if (key == "retransmit-base") {
+            out.recovery.retransmitBaseCycles = Tick(
+                std::strtoull(value.c_str(), nullptr, 0));
+        } else if (key == "retransmit-budget") {
+            out.recovery.retransmitBudget =
+                unsigned(std::strtoul(value.c_str(), nullptr, 0));
         } else {
             return fail("unknown key '" + key + "'");
         }

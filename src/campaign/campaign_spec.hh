@@ -98,6 +98,12 @@ struct CampaignSpec
     Tick watchdogPollCycles = 0;
     Tick teardownDrainCycles = 0;
 
+    /** Message-loss recovery layer for every job (manifest keys
+     *  `recovery`, `retry-timeout`, `retry-budget`, ...). Off by
+     *  default: fault mixes then keep their PR-1 fail-fast
+     *  classification. */
+    RecoveryConfig recovery{};
+
     /** Bounded retry budget for runner-infrastructure failures. */
     int maxRetries = 1;
 

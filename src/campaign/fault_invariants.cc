@@ -39,17 +39,41 @@ checkFaultInvariants(const CampaignResult &result)
             (r.results.leakedMessages != 0 || !r.results.completed))
             fail("ok verdict with leaks/incomplete");
 
-        // Invariant 3: a lost message is always diagnosed as a
-        // deadlock, and the crash report names a stuck MSHR or the
-        // undelivered message.
+        // Invariant 3: a lost message is always accounted for.
         if (r.results.faultsDropped > 0) {
-            if (r.outcome != RunOutcome::Deadlock)
-                fail("drop not diagnosed as deadlock");
-            if (r.crashJson.find("\"mshrs\":[{") ==
-                    std::string::npos &&
-                r.crashJson.find("\"dropped\":true") ==
-                    std::string::npos)
-                fail("crash dump names no stuck txn");
+            if (r.results.recoveryEnabled) {
+                // Recovery armed: the drop either healed (clean
+                // completion, every ledger entry retired) or the
+                // retry budget ran out and the run still ends in
+                // the PR-1 classified verdict with a crash report.
+                if (r.outcome == RunOutcome::Ok) {
+                    if (r.results.leakedMessages != 0)
+                        fail("recovered run leaked messages");
+                    if (r.results.recoveredMessages == 0)
+                        fail("drop healed but none counted "
+                             "recovered");
+                } else if (r.outcome == RunOutcome::Deadlock) {
+                    if (r.crashJson.find("\"mshrs\":[{") ==
+                            std::string::npos &&
+                        r.crashJson.find("\"dropped\":true") ==
+                            std::string::npos)
+                        fail("crash dump names no stuck txn");
+                } else {
+                    fail("drop under recovery neither healed nor "
+                         "classified as deadlock");
+                }
+            } else {
+                // No recovery: PR-1 semantics — always a diagnosed
+                // deadlock whose crash report names a stuck MSHR or
+                // the undelivered message.
+                if (r.outcome != RunOutcome::Deadlock)
+                    fail("drop not diagnosed as deadlock");
+                if (r.crashJson.find("\"mshrs\":[{") ==
+                        std::string::npos &&
+                    r.crashJson.find("\"dropped\":true") ==
+                        std::string::npos)
+                    fail("crash dump names no stuck txn");
+            }
         }
 
         // Invariant 4: the fault-free control column never
@@ -57,6 +81,12 @@ checkFaultInvariants(const CampaignResult &result)
         if (r.spec.faultSpec.empty() &&
             r.outcome != RunOutcome::Ok)
             fail("fault-free control failed");
+
+        // Invariant 6: a recovered run must be observationally
+        // identical to its fault-free twin.
+        if (r.equivalenceChecked && !r.equivalenceMatch)
+            fail("end state diverges from fault-free twin: " +
+                 r.equivalenceDetail);
     }
     return failures;
 }
@@ -102,6 +132,11 @@ faultCampaignSpec(int seeds)
         p.sharedRatio = 0.35;
         p.lockRatio = 0.02;
         p.numLocks = 2;
+        // When the recovery layer is armed the campaign's point is
+        // healing + end-state equivalence, which needs an
+        // interleaving-independent final image; without recovery,
+        // keep the racier (load-value-dependent) default mix.
+        p.singleWriter = s.recovery.enabled;
         p.seed = job.seed;
         return makeSynthetic(p, s.cores);
     };

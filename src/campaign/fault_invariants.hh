@@ -6,10 +6,16 @@
  *
  *  1. no run ever ends in a TSO violation or unclassified;
  *  2. an "ok" verdict really is clean (completed, no leaks);
- *  3. a dropped message is always diagnosed as a deadlock whose
- *     crash report names a stuck MSHR or the undelivered message;
+ *  3. a dropped message is always accounted for: without the
+ *     recovery layer it is diagnosed as a deadlock whose crash
+ *     report names a stuck MSHR or the undelivered message; with
+ *     recovery armed it either heals (clean completion, every drop
+ *     retired as recovered) or — once the retry budget is exhausted
+ *     — still ends in the classified deadlock with a crash report;
  *  4. fault-free ("clean" mix) runs never degrade;
- *  5. infrastructure failures never survive the retry budget.
+ *  5. infrastructure failures never survive the retry budget;
+ *  6. an equivalence mismatch (verify-equivalence mode) is always a
+ *     violation.
  */
 
 #ifndef WB_CAMPAIGN_FAULT_INVARIANTS_HH

@@ -34,7 +34,12 @@ L1Controller::L1Controller(std::string name, EventQueue *eq,
       _stores(statGroup().counter("stores")),
       _ackReleases(statGroup().counter("ackReleases")),
       _prefetches(statGroup().counter("prefetches")),
-      _missLatency(statGroup().histogram("missLatency"))
+      _dedupHits(statGroup().counter("dedupHits")),
+      _arqReissues(statGroup().counter("arqReissues")),
+      _arqRecovered(statGroup().counter("arqRecovered")),
+      _orphansAbsorbed(statGroup().counter("orphansAbsorbed")),
+      _missLatency(statGroup().histogram("missLatency")),
+      _arqBackoff(statGroup().histogram("arqBackoff"))
 {}
 
 int
@@ -427,6 +432,8 @@ L1Controller::makeRoom(Addr line)
             WbEntry &wb = _wbBuf[victim];
             wb.data = vp->data;
             wb.dirty = false;
+            wb.putType = CohType::PutS;
+            wb.born = now();
             ++_putsShared;
             send(make(CohType::PutS, victim, home(victim)));
         }
@@ -436,8 +443,9 @@ L1Controller::makeRoom(Addr line)
         WbEntry &wb = _wbBuf[victim];
         wb.data = vp->data;
         wb.dirty = vp->st == PState::M;
-        auto msg = make(wb.dirty ? CohType::PutM : CohType::PutE,
-                        victim, home(victim));
+        wb.putType = wb.dirty ? CohType::PutM : CohType::PutE;
+        wb.born = now();
+        auto msg = make(wb.putType, victim, home(victim));
         auto *cm = static_cast<CohMsg *>(msg.get());
         if (wb.dirty) {
             cm->hasData = true;
@@ -480,6 +488,8 @@ L1Controller::tryFill(Mshr &m)
 void
 L1Controller::tick()
 {
+    if (_recovery.enabled && now() % _recovery.pollCycles == 0)
+        recoveryScan();
     if (!_loadRetryQ.empty()) {
         std::vector<WaitingLoad> again;
         for (const WaitingLoad &wl : _loadRetryQ) {
@@ -503,12 +513,118 @@ L1Controller::tick()
         if (tryFill(m)) {
             if (m.kind == Mshr::Kind::Write)
                 send(make(CohType::Unblock, line, home(line)));
+            noteRecovered(m.retries);
             _mshrs.erase(it);
         } else {
             again.push_back(line);
         }
     }
     _retryFills = std::move(again);
+}
+
+// ---------------------------------------------------------------
+// Recovery (ARQ re-issue of lost requests)
+// ---------------------------------------------------------------
+
+bool
+L1Controller::retryDue(Tick &last_attempt, Tick born,
+                       unsigned &retries, bool &exhausted)
+{
+    if (exhausted)
+        return false;
+    const Tick base = last_attempt ? last_attempt : born;
+    const Tick timeout = RecoveryConfig::backoff(
+        _recovery.retryTimeoutCycles, retries);
+    if (now() < base + timeout)
+        return false;
+    if (retries >= _recovery.retryBudget) {
+        // Budget spent: freeze the attempt clock so the per-MSHR
+        // age watchdog escalates to the classified verdict.
+        exhausted = true;
+        return false;
+    }
+    ++retries;
+    last_attempt = now();
+    _arqBackoff.sample(timeout);
+    ++_arqReissues;
+    return true;
+}
+
+void
+L1Controller::recoveryScan()
+{
+    // Deterministic iteration: sorted line addresses. Only requests
+    // with *no* sign of progress are re-issued — once any grant,
+    // data, or hint arrived, the transaction is live at the
+    // directory and a re-issue would duplicate protocol state
+    // rather than recover lost state.
+    std::vector<Addr> lines;
+    lines.reserve(_mshrs.size());
+    for (const auto &[line, m] : _mshrs)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    for (Addr line : lines) {
+        auto it = _mshrs.find(line);
+        if (it == _mshrs.end())
+            continue;
+        Mshr &m = it->second;
+        if (m.fillPending || m.dataArrived)
+            continue;
+        if (m.kind == Mshr::Kind::Write &&
+            (m.grantSeen || m.blocked))
+            continue;
+        if (retryDue(m.lastAttempt, m.born, m.retries, m.exhausted))
+            reissueMshr(m);
+    }
+    if (_sosMshr && !_sosMshr->dataArrived) {
+        Mshr &m = *_sosMshr;
+        if (retryDue(m.lastAttempt, m.born, m.retries, m.exhausted))
+            reissueMshr(m);
+    }
+    lines.clear();
+    for (const auto &[line, wb] : _wbBuf)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    for (Addr line : lines) {
+        auto it = _wbBuf.find(line);
+        if (it == _wbBuf.end())
+            continue;
+        WbEntry &wb = it->second;
+        if (retryDue(wb.lastAttempt, wb.born, wb.retries,
+                     wb.exhausted))
+            reissueWb(line, wb);
+    }
+}
+
+void
+L1Controller::reissueMshr(Mshr &m)
+{
+    CohType t = CohType::GetS;
+    switch (m.kind) {
+      case Mshr::Kind::Read: t = CohType::GetS; break;
+      case Mshr::Kind::Write:
+        t = m.upgrade ? CohType::Upgrade : CohType::GetX;
+        break;
+      case Mshr::Kind::Unc: t = CohType::GetU; break;
+    }
+    auto msg = make(t, m.line, home(m.line));
+    static_cast<CohMsg *>(msg.get())->retry = int(m.retries);
+    send(std::move(msg));
+}
+
+void
+L1Controller::reissueWb(Addr line, WbEntry &wb)
+{
+    auto msg = make(wb.putType, line, home(line));
+    auto *cm = static_cast<CohMsg *>(msg.get());
+    cm->retry = int(wb.retries);
+    if (wb.putType == CohType::PutM) {
+        cm->hasData = true;
+        cm->dirty = true;
+        cm->data = wb.data;
+        cm->flits = dataFlits;
+    }
+    send(std::move(msg));
 }
 
 // ---------------------------------------------------------------
@@ -519,6 +635,13 @@ void
 L1Controller::handleMessage(MsgPtr msg)
 {
     auto &m = static_cast<CohMsg &>(*msg);
+    if (_recovery.enabled && !_dedup.accept(m.src, m.seq)) {
+        // A duplicated delivery (fault-injected copy, or a transport
+        // retransmission racing its original): provably idempotent —
+        // the first delivery already ran, this one is dropped whole.
+        ++_dedupHits;
+        return;
+    }
     WB_TRACE(LogFlag::Cache, now(), name().c_str(),
              "rx %s line %llx from %d", cohTypeName(m.type),
              static_cast<unsigned long long>(m.line), m.src);
@@ -644,9 +767,19 @@ L1Controller::handleFwdGetS(CohMsg &m)
         have = true;
         retained = false;
     }
-    if (!have)
+    if (!have) {
+        if (_recovery.enabled) {
+            // Stale forward in a recovered run (e.g. the directory
+            // acted on a re-issued request whose original also got
+            // through, and the first transaction already moved the
+            // line on). Dropping it may wedge the directory's
+            // transient — the watchdog then classifies the hang.
+            ++_orphansAbsorbed;
+            return;
+        }
         panic("L1 %d: FwdGetS without data, line %llx", _id,
               static_cast<unsigned long long>(m.line));
+    }
 
     auto rsp = make(CohType::Data, m.line, m.requestor);
     auto *cr = static_cast<CohMsg *>(rsp.get());
@@ -681,6 +814,10 @@ L1Controller::handleFwdGetX(CohMsg &m)
         data = it->second.data;
         dirty = it->second.dirty;
     } else {
+        if (_recovery.enabled) {
+            ++_orphansAbsorbed;
+            return;
+        }
         panic("L1 %d: FwdGetX without data, line %llx", _id,
               static_cast<unsigned long long>(m.line));
     }
@@ -744,10 +881,30 @@ void
 L1Controller::handleData(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Read)
-        panic("L1 %d: Data for line %llx without a read MSHR "
-              "(duplicate or misrouted response)",
-              _id, static_cast<unsigned long long>(m.line));
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Read) {
+        if (!_recovery.enabled)
+            panic("L1 %d: Data for line %llx without a read MSHR "
+                  "(duplicate or misrouted response)",
+                  _id, static_cast<unsigned long long>(m.line));
+        // Replayed grant for a transaction we already completed (a
+        // timed-out request was re-issued and both got through).
+        // The directory serialised a fresh transaction on this
+        // grant and expects its Unblock.
+        ++_orphansAbsorbed;
+        if (it != _mshrs.end()) {
+            // A write is now in flight for the line; just release
+            // the directory's read transient.
+            send(make(CohType::Unblock, m.line, home(m.line)));
+            return;
+        }
+        // Synthesize a loadless read MSHR and run the normal
+        // completion path so the sharer registration stays exact.
+        Mshr &fresh = _mshrs[m.line];
+        fresh.kind = Mshr::Kind::Read;
+        fresh.line = m.line;
+        fresh.born = now();
+        it = _mshrs.find(m.line);
+    }
     Mshr &mshr = it->second;
     mshr.dataArrived = true;
     mshr.exclusive = m.exclusive;
@@ -760,6 +917,7 @@ L1Controller::handleData(CohMsg &m)
     mshr.loads.clear();
     send(make(CohType::Unblock, m.line, home(m.line)));
     if (tryFill(mshr)) {
+        noteRecovered(mshr.retries);
         _mshrs.erase(it);
     } else {
         mshr.fillPending = true;
@@ -771,10 +929,25 @@ void
 L1Controller::handleDataX(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write)
-        panic("L1 %d: DataX for line %llx without a write MSHR "
-              "(duplicate or misrouted response)",
-              _id, static_cast<unsigned long long>(m.line));
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write) {
+        if (!_recovery.enabled)
+            panic("L1 %d: DataX for line %llx without a write MSHR "
+                  "(duplicate or misrouted response)",
+                  _id, static_cast<unsigned long long>(m.line));
+        // Replayed write grant after our re-issued request also got
+        // through: take the grant on a synthesized MSHR so the
+        // directory's transaction (and its pending acks) resolve.
+        ++_orphansAbsorbed;
+        if (it != _mshrs.end()) {
+            send(make(CohType::Unblock, m.line, home(m.line)));
+            return;
+        }
+        Mshr &fresh = _mshrs[m.line];
+        fresh.kind = Mshr::Kind::Write;
+        fresh.line = m.line;
+        fresh.born = now();
+        it = _mshrs.find(m.line);
+    }
     Mshr &mshr = it->second;
     mshr.dataArrived = true;
     mshr.grantSeen = true;
@@ -790,17 +963,43 @@ void
 L1Controller::handleUpgradeAck(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write)
-        panic("L1 %d: UpgradeAck for line %llx without a write MSHR "
-              "(duplicate or misrouted response)",
-              _id, static_cast<unsigned long long>(m.line));
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write) {
+        if (!_recovery.enabled)
+            panic("L1 %d: UpgradeAck for line %llx without a write "
+                  "MSHR (duplicate or misrouted response)",
+                  _id, static_cast<unsigned long long>(m.line));
+        ++_orphansAbsorbed;
+        if (it != _mshrs.end() || !_array.find(m.line)) {
+            // Either a read transaction owns the line's MSHR or the
+            // local copy is gone: the replayed grant cannot be
+            // honoured. Dropping it leaves the directory transient
+            // to the watchdog (classified, never silent).
+            return;
+        }
+        // We still hold an S copy: complete the replayed upgrade on
+        // a synthesized MSHR.
+        Mshr &fresh = _mshrs[m.line];
+        fresh.kind = Mshr::Kind::Write;
+        fresh.line = m.line;
+        fresh.upgrade = true;
+        fresh.born = now();
+        it = _mshrs.find(m.line);
+    }
     Mshr &mshr = it->second;
     mshr.grantSeen = true;
     mshr.acksExpected = m.ackCount;
     // Data stays in the (still valid) local S copy.
-    if (!_array.find(m.line))
+    if (!_array.find(m.line)) {
+        if (_recovery.enabled) {
+            // The copy was invalidated while the (re-issued) grant
+            // was in flight; the stale grant cannot complete. Leave
+            // the MSHR to the age watchdog.
+            ++_orphansAbsorbed;
+            return;
+        }
         panic("L1 %d: UpgradeAck for line %llx we no longer hold",
               _id, static_cast<unsigned long long>(m.line));
+    }
     maybeCompleteWrite(mshr);
 }
 
@@ -808,9 +1007,16 @@ void
 L1Controller::handleAck(CohMsg &m)
 {
     auto it = _mshrs.find(m.line);
-    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write)
+    if (it == _mshrs.end() || it->second.kind != Mshr::Kind::Write) {
+        if (_recovery.enabled) {
+            // Ack for a write that already completed (its grant was
+            // replayed, or the ack itself was retransmitted late).
+            ++_orphansAbsorbed;
+            return;
+        }
         panic("L1 %d: stray invalidation ack for line %llx",
               _id, static_cast<unsigned long long>(m.line));
+    }
     Mshr &mshr = it->second;
     ++mshr.acksReceived;
     maybeCompleteWrite(mshr);
@@ -824,20 +1030,29 @@ L1Controller::maybeCompleteWrite(Mshr &m)
     const bool data_ok = m.upgrade ? true : m.dataArrived;
     if (!data_ok || m.acksReceived < m.acksExpected)
         return;
-    if (m.acksReceived != m.acksExpected)
-        panic("L1 %d: line %llx collected %d acks, expected %d "
-              "(duplicated ack?)",
-              _id, static_cast<unsigned long long>(m.line),
-              m.acksReceived, m.acksExpected);
+    if (m.acksReceived != m.acksExpected) {
+        if (!_recovery.enabled)
+            panic("L1 %d: line %llx collected %d acks, expected %d "
+                  "(duplicated ack?)",
+                  _id, static_cast<unsigned long long>(m.line),
+                  m.acksReceived, m.acksExpected);
+        // Surplus acks can reach a recovered run's writer when a
+        // replayed grant re-invalidated sharers; the write is still
+        // complete once every expected ack arrived.
+        ++_orphansAbsorbed;
+        m.acksReceived = m.acksExpected;
+    }
     const Addr line = m.line;
     if (m.upgrade && _array.find(line)) {
         PrivLine *pl = _array.findAndTouch(line);
         pl->st = PState::M;
         touchL1(line);
         send(make(CohType::Unblock, line, home(line)));
+        noteRecovered(m.retries);
         _mshrs.erase(line);
     } else if (tryFill(m)) {
         send(make(CohType::Unblock, line, home(line)));
+        noteRecovered(m.retries);
         _mshrs.erase(line);
     } else {
         m.fillPending = true;
@@ -853,6 +1068,7 @@ L1Controller::handleUData(CohMsg &m)
             return; // stale bypass response; drop
         Mshr mshr = std::move(*_sosMshr);
         _sosMshr.reset();
+        noteRecovered(mshr.retries);
         for (const auto &wl : mshr.loads) {
             if (_core->isLoadOrdered(wl.seq)) {
                 ++_tearoffUsed;
@@ -883,6 +1099,7 @@ L1Controller::handleUData(CohMsg &m)
             _core->loadMustRetry(wl.seq, wl.addr);
         }
     }
+    noteRecovered(mshr.retries);
     _mshrs.erase(it);
 }
 
@@ -914,6 +1131,8 @@ L1Controller::handleBlockedHint(CohMsg &m)
 void
 L1Controller::handleWbDone(CohMsg &m)
 {
+    if (auto wit = _wbBuf.find(m.line); wit != _wbBuf.end())
+        noteRecovered(wit->second.retries);
     _wbBuf.erase(m.line);
     auto it = _wbWaiters.find(m.line);
     if (it == _wbWaiters.end())
@@ -981,6 +1200,7 @@ L1Controller::mshrInfos(Tick now_tick) const
         i.acksExpected = m.acksExpected;
         i.waiters = m.loads.size();
         i.age = now_tick > m.born ? now_tick - m.born : 0;
+        i.retries = m.retries;
         out.push_back(i);
     };
     for (const auto &[line, m] : _mshrs)
@@ -999,7 +1219,15 @@ L1Controller::oldestTransactionAge(Tick now_tick) const
 {
     Tick oldest = 0;
     auto consider = [&](const Mshr &m) {
-        const Tick age = now_tick > m.born ? now_tick - m.born : 0;
+        // With recovery armed, a transaction being actively retried
+        // ages from its last attempt, not its birth — the watchdog
+        // must not escalate a hang the ARQ is still allowed to fix.
+        // Once the budget is exhausted, lastAttempt freezes and the
+        // age grows to the classified verdict as before.
+        const Tick base = _recovery.enabled && m.lastAttempt
+                              ? m.lastAttempt
+                              : m.born;
+        const Tick age = now_tick > base ? now_tick - base : 0;
         oldest = std::max(oldest, age);
     };
     for (const auto &[line, m] : _mshrs)
@@ -1007,6 +1235,16 @@ L1Controller::oldestTransactionAge(Tick now_tick) const
     if (_sosMshr)
         consider(*_sosMshr);
     return oldest;
+}
+
+std::vector<Addr>
+L1Controller::cachedLines() const
+{
+    std::vector<Addr> out;
+    _array.forEach(
+        [&](Addr line, const PrivLine &) { out.push_back(line); });
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void

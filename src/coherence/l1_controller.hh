@@ -41,6 +41,7 @@
 #include "mem/cache_array.hh"
 #include "mem/data_block.hh"
 #include "network/network.hh"
+#include "recovery/recovery.hh"
 #include "sim/sim_object.hh"
 
 namespace wb
@@ -67,6 +68,10 @@ class L1Controller : public SimObject
 
     void setCore(CoreMemIf *core) { _core = core; }
     void setObserver(StoreObserver *obs) { _observer = obs; }
+
+    /** Arm the recovery layer (duplicate filtering + ARQ re-issue);
+     *  a default-constructed config keeps it disabled. */
+    void setRecovery(const RecoveryConfig &rc) { _recovery = rc; }
 
     /** Incoming coherence message (from the node dispatcher). */
     void handleMessage(MsgPtr msg);
@@ -153,6 +158,7 @@ class L1Controller : public SimObject
         int acksExpected = -1;
         std::size_t waiters = 0;
         Tick age = 0;
+        unsigned retries = 0; //!< ARQ re-issues so far
     };
 
     /** All live MSHRs (demand + reserved SoS entry), sorted by line
@@ -169,6 +175,22 @@ class L1Controller : public SimObject
     }
     /** Evicted dirty lines awaiting their WBAck. */
     std::size_t writebackBufferUse() const { return _wbBuf.size(); }
+
+    /** @return true while any transaction (MSHR, SoS bypass, or
+     *  writeback) is outstanding for @p line. The teardown
+     *  reclassifier uses this to prove a dropped request was
+     *  recovered by a re-issue. */
+    bool
+    lineOutstanding(Addr line) const
+    {
+        return _mshrs.count(line) != 0 ||
+               (_sosMshr && _sosMshr->line == line) ||
+               _wbBuf.count(line) != 0;
+    }
+
+    /** Line addresses currently cached here, sorted (equivalence
+     *  checker input). */
+    std::vector<Addr> cachedLines() const;
 
     /** Functional debug read: true if the line is cached here, with
      *  the word value and whether this copy is writable (E/M). */
@@ -213,6 +235,9 @@ class L1Controller : public SimObject
         int acksReceived = 0;
         bool fillPending = false; //!< data done; allocation retries
         Tick born = 0;            //!< allocation time (age watchdog)
+        unsigned retries = 0;     //!< ARQ re-issues so far
+        Tick lastAttempt = 0;     //!< issue time of the last attempt
+        bool exhausted = false;   //!< retry budget spent
         DataBlock data{};
         std::vector<WaitingLoad> loads;
     };
@@ -221,6 +246,11 @@ class L1Controller : public SimObject
     {
         DataBlock data{};
         bool dirty = false;
+        CohType putType = CohType::PutS; //!< for ARQ re-sends
+        Tick born = 0;
+        unsigned retries = 0;
+        Tick lastAttempt = 0;
+        bool exhausted = false;
     };
 
     // message handlers
@@ -260,6 +290,31 @@ class L1Controller : public SimObject
     /** Issue the reserved-MSHR uncacheable read for a SoS load. */
     bool issueGetU(InstSeqNum seq, Addr addr);
 
+    // ---------------- recovery (ARQ) ----------------
+
+    /** Periodic scan for stalled transactions; re-issues requests
+     *  whose (backed-off) retry timeout expired. */
+    void recoveryScan();
+
+    /** @return true if the entry timed out and has budget left;
+     *  bumps the retry bookkeeping as a side effect. */
+    bool retryDue(Tick &last_attempt, Tick born, unsigned &retries,
+                  bool &exhausted);
+
+    /** Re-send the original request of a stalled MSHR. */
+    void reissueMshr(Mshr &m);
+
+    /** Re-send the Put of a stalled writeback-buffer entry. */
+    void reissueWb(Addr line, WbEntry &wb);
+
+    /** A transaction that needed @p retries re-issues completed. */
+    void
+    noteRecovered(unsigned retries)
+    {
+        if (retries > 0)
+            ++_arqRecovered;
+    }
+
     /** Next-line prefetch after a demand miss (if enabled). */
     void maybePrefetch(Addr next_line);
 
@@ -281,6 +336,8 @@ class L1Controller : public SimObject
     int _numBanks;
     CoreMemIf *_core = nullptr;
     StoreObserver *_observer = nullptr;
+    RecoveryConfig _recovery{};
+    DedupFilter _dedup;
 
     CacheArray<PrivLine> _array;  //!< L2-sized, coherence-bearing
     CacheArray<char> _l1Tags;     //!< L1-sized latency filter
@@ -321,7 +378,12 @@ class L1Controller : public SimObject
     Counter &_stores;
     Counter &_ackReleases;
     Counter &_prefetches;
+    Counter &_dedupHits;       //!< duplicated deliveries discarded
+    Counter &_arqReissues;     //!< timeout-driven request re-sends
+    Counter &_arqRecovered;    //!< transactions completed after >=1 retry
+    Counter &_orphansAbsorbed; //!< recovery-gated orphan responses
     Histogram &_missLatency;
+    Histogram &_arqBackoff;    //!< backoff delay per re-issue
 };
 
 } // namespace wb

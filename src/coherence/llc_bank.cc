@@ -27,7 +27,9 @@ LLCBank::LLCBank(std::string name, EventQueue *eq,
       _memWritebacks(statGroup().counter("memWritebacks")),
       _deferrals(statGroup().counter("deferrals")),
       _staleDrops(statGroup().counter("staleDrops")),
-      _evbufFallbacks(statGroup().counter("evbufFallbacks"))
+      _evbufFallbacks(statGroup().counter("evbufFallbacks")),
+      _dedupHits(statGroup().counter("dedupHits")),
+      _dupRequestsIgnored(statGroup().counter("dupRequestsIgnored"))
 {}
 
 MsgPtr
@@ -77,6 +79,21 @@ LLCBank::peekWord(Addr addr, std::uint64_t &value) const
         return false;
     value = e->data.readWord(addr);
     return true;
+}
+
+std::vector<Addr>
+LLCBank::cachedLines() const
+{
+    std::vector<Addr> out;
+    _array.forEach([&](Addr line, const DirEntry &e) {
+        if (e.haveData)
+            out.push_back(line);
+    });
+    for (const auto &[line, e] : _evbuf)
+        if (e.haveData)
+            out.push_back(line);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 bool
@@ -202,6 +219,14 @@ LLCBank::handleMessage(MsgPtr msg)
     WB_TRACE(LogFlag::Directory, now(), name().c_str(),
              "rx %s line %llx from %d", cohTypeName(m.type),
              static_cast<unsigned long long>(m.line), m.src);
+    // Duplicate-delivery sink: a fault-duplicated copy carries the
+    // original's per-source sequence stamp, so re-seeing a stamp
+    // means this exact delivery already happened. Discarding here
+    // makes every duplicated delivery provably idempotent.
+    if (_recovery.enabled && !_dedup.accept(m.src, m.seq)) {
+        ++_dedupHits;
+        return;
+    }
     switch (m.type) {
       case CohType::GetS:
       case CohType::GetX:
@@ -305,6 +330,19 @@ void
 LLCBank::handleGetS(DirEntry &e, CohMsg &m)
 {
     ++_reads;
+    // An ARQ re-issue may race with its own original grant. If this
+    // requestor already owns the line its first GetS completed
+    // (exclusive grant + Unblock), and if the directory is mid-read
+    // for this same requestor the grant is still in flight (the
+    // transport retransmits dropped responses). Either way the retry
+    // is stale — ignore it rather than forwarding the owner a
+    // request from itself or starting a second transaction.
+    if (_recovery.enabled && m.retry > 0 &&
+        ((e.state == DirState::EM && e.owner == m.src) ||
+         (e.state == DirState::BusyRd && e.reqor == m.src))) {
+        ++_dupRequestsIgnored;
+        return;
+    }
     switch (e.state) {
       case DirState::I:
         grantRead(e, m, true);
@@ -415,6 +453,18 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
 {
     ++_writes;
     const int writer = m.src;
+    // Idempotent handling of re-seen write requests under recovery:
+    // a write the directory is already processing for this writer
+    // (BusyWr/WB, grant or hint in flight — the transport recovers
+    // dropped responses) or has already completed (EM with this
+    // writer as owner) must not start a second transaction.
+    if (_recovery.enabled && m.retry > 0 &&
+        ((e.state == DirState::EM && e.owner == writer) ||
+         ((e.state == DirState::BusyWr || e.state == DirState::WB) &&
+          e.reqor == writer))) {
+        ++_dupRequestsIgnored;
+        return;
+    }
     switch (e.state) {
       case DirState::I: {
         assert(e.haveData);
@@ -467,11 +517,19 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
         return;
       }
       case DirState::EM: {
-        if (e.owner == writer)
+        if (e.owner == writer) {
+            if (_recovery.enabled) {
+                // Defense in depth: a stale re-seen write that
+                // slipped past the retry gate above. The writer
+                // already holds the line; ignore.
+                ++_dupRequestsIgnored;
+                return;
+            }
             panic("LLC %d: owner %d re-requesting write permission "
                   "for line %llx (duplicate request?)",
                   _id, writer,
                   static_cast<unsigned long long>(m.line));
+        }
         e.txnId = newTxn();
         auto fwd = make(CohType::FwdGetX, m.line, e.owner);
         auto *cf = static_cast<CohMsg *>(fwd.get());
@@ -666,20 +724,30 @@ LLCBank::handleAckRelease(DirEntry &e, CohMsg &m)
         return;
       }
       case DirState::WBEvict:
-        if (e.recallPending <= 0)
+        if (e.recallPending <= 0) {
+            if (_recovery.enabled) {
+                ++_staleDrops; // re-seen release; already counted
+                return;
+            }
             panic("LLC %d: AckRelease for line %llx with no recall "
                   "pending (duplicate release?)",
                   _id, static_cast<unsigned long long>(m.line));
+        }
         if (--e.recallPending == 0)
             finishEviction(m.line);
         return;
       case DirState::Recalling:
         // Release overtook its Nack: account it, but do not finish
         // before the Nack (it may carry the owner's data).
-        if (e.recallPending <= 0)
+        if (e.recallPending <= 0) {
+            if (_recovery.enabled) {
+                ++_staleDrops; // re-seen release; already counted
+                return;
+            }
             panic("LLC %d: AckRelease for line %llx with no recall "
                   "pending (duplicate release?)",
                   _id, static_cast<unsigned long long>(m.line));
+        }
         --e.recallPending;
         return;
       default:
@@ -702,10 +770,15 @@ LLCBank::handleRecallAck(DirEntry &e, CohMsg &m)
         e.dirty = e.dirty || m.dirty;
         e.haveData = true;
     }
-    if (e.recallPending <= 0)
+    if (e.recallPending <= 0) {
+        if (_recovery.enabled) {
+            ++_staleDrops; // re-seen recall ack; already counted
+            return;
+        }
         panic("LLC %d: RecallAck for line %llx with no recall "
               "pending (duplicate ack?)",
               _id, static_cast<unsigned long long>(m.line));
+    }
     if (--e.recallPending == 0)
         finishEviction(m.line);
 }

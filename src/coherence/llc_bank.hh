@@ -41,6 +41,7 @@
 #include "coherence/messages.hh"
 #include "mem/cache_array.hh"
 #include "network/network.hh"
+#include "recovery/recovery.hh"
 #include "sim/sim_object.hh"
 
 namespace wb
@@ -94,6 +95,15 @@ class LLCBank : public SimObject
     /** Functional debug read of the LLC copy (may be stale for EM
      *  lines). @return false if the line has no entry with data. */
     bool peekWord(Addr addr, std::uint64_t &value) const;
+
+    /** Arm duplicate-safe message handling: re-seen requests are
+     *  answered idempotently instead of tripping protocol panics. */
+    void setRecovery(const RecoveryConfig &rc) { _recovery = rc; }
+
+    /** Every line this bank holds data for (array + eviction
+     *  buffer), sorted — the end-state equivalence checker walks
+     *  this to compare final cache-line values across runs. */
+    std::vector<Addr> cachedLines() const;
 
   private:
     enum class DirState : std::uint8_t
@@ -182,6 +192,8 @@ class LLCBank : public SimObject
     std::unordered_map<Addr, DirEntry> _evbuf;
     std::deque<MsgPtr> _retryQueue;
     std::uint64_t _txnCounter = 0;
+    RecoveryConfig _recovery{};
+    DedupFilter _dedup; //!< per-source duplicate-delivery filter
 
     // stats
     Counter &_reads;
@@ -196,6 +208,9 @@ class LLCBank : public SimObject
     Counter &_deferrals;
     Counter &_staleDrops;
     Counter &_evbufFallbacks;   //!< uncacheable due to full buffer
+    Counter &_dedupHits;        //!< duplicated deliveries discarded
+    Counter &_dupRequestsIgnored; //!< re-seen requests dropped
+                                  //!< idempotently under recovery
 };
 
 } // namespace wb

@@ -11,8 +11,10 @@
 #ifndef WB_COHERENCE_MAIN_MEMORY_HH
 #define WB_COHERENCE_MAIN_MEMORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/addr.hh"
 #include "mem/data_block.hh"
@@ -53,6 +55,19 @@ class MainMemory
     }
 
     std::size_t lines() const { return _lines.size(); }
+
+    /** Every populated line address, sorted (end-state equivalence
+     *  checks need a deterministic enumeration order). */
+    std::vector<Addr>
+    lineAddrs() const
+    {
+        std::vector<Addr> out;
+        out.reserve(_lines.size());
+        for (const auto &[line, data] : _lines)
+            out.push_back(line);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
 
   private:
     std::unordered_map<Addr, DataBlock> _lines;

@@ -100,6 +100,10 @@ struct CohMsg : NetMsg
      *  cacheable GetS that found a WritersBlock. */
     bool fromGetU = false;
 
+    /** Recovery: 0 for a first issue, else the ARQ attempt number of
+     *  this re-issued request (diagnostics / traces). */
+    int retry = 0;
+
     bool hasData = false;
     bool dirty = false;
     DataBlock data{};

@@ -183,6 +183,16 @@ class CacheArray
                 fn(w.tag, w.line);
     }
 
+    /** Visit every valid line: fn(lineAddr, const payload&). */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &w : _ways)
+            if (w.valid)
+                fn(w.tag, w.line);
+    }
+
     std::size_t
     validLines() const
     {

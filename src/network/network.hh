@@ -19,12 +19,14 @@
 #ifndef WB_NETWORK_NETWORK_HH
 #define WB_NETWORK_NETWORK_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "recovery/recovery.hh"
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
@@ -49,6 +51,12 @@ struct NetMsg
     int dst = -1;       //!< destination node
     VNet vnet = VNet::Request;
     unsigned flits = 1; //!< 1 for control, 5 for data (Table 6)
+
+    /** Per-source sequence number, stamped at injection (0 = never
+     *  injected). Fault-duplicated copies and transport
+     *  retransmissions share the original's seq, which is what lets
+     *  endpoint sinks discard duplicated deliveries exactly. */
+    std::uint64_t seq = 0;
 
     virtual ~NetMsg() = default;
 
@@ -77,8 +85,10 @@ class Network : public SimObject
     using Handler = std::function<void(MsgPtr)>;
 
     /** Ledger record of a message that has not (yet) been
-     *  delivered. `dropped` entries are permanent: the injector ate
-     *  the message and it can never arrive. */
+     *  delivered. `dropped` entries are permanent — the injector ate
+     *  the message — unless the recovery layer is armed:
+     *  `retxPending` then marks a dropped forward/response the
+     *  transport is still retransmitting. */
     struct InFlightMsg
     {
         std::uint64_t id = 0;
@@ -89,6 +99,7 @@ class Network : public SimObject
         std::uint64_t addr = 0;
         Tick injectedAt = 0;
         bool dropped = false;
+        bool retxPending = false;
     };
 
     Network(std::string name, EventQueue *eq, StatRegistry *stats,
@@ -106,7 +117,22 @@ class Network : public SimObject
     void setFaultInjector(FaultInjector *fi) { _faults = fi; }
     const FaultInjector *faultInjector() const { return _faults; }
 
-    /** Messages injected but not yet delivered (excludes drops). */
+    /** Arm the transport recovery layer (retransmission of dropped
+     *  forward/response messages). */
+    void setRecovery(const RecoveryConfig &rc);
+
+    /**
+     * Recovery accounting hook for the teardown reclassifier: a
+     * dropped request-vnet entry whose transaction provably
+     * completed through an endpoint re-issue is counted `recovered`
+     * and retired from the ledger, keeping the drain invariant
+     * (injected == delivered + recovered + leaked) exact.
+     */
+    void markRecovered(std::uint64_t id);
+
+    /** Messages injected but not yet delivered. Excludes drops —
+     *  except dropped messages a retransmission is still chasing,
+     *  which the drain loop must keep waiting for. */
     std::size_t inFlight() const;
 
     /** Every undelivered ledger entry, dropped ones included,
@@ -118,6 +144,28 @@ class Network : public SimObject
 
     /** Total messages injected so far. */
     std::uint64_t messages() const { return _messages.value(); }
+
+    /** Transport-level retransmissions of dropped messages. */
+    std::uint64_t retransmits() const { return _retransmits.value(); }
+
+    /** Dropped messages that were eventually delivered (or proven
+     *  superseded by an endpoint re-issue). */
+    std::uint64_t recovered() const { return _recovered.value(); }
+
+    /** Duplicated deliveries observed on one virtual network. */
+    std::uint64_t
+    dupDelivered(int vnet) const
+    {
+        return _dupDelivered[std::size_t(vnet)]->value();
+    }
+
+    /** Out-of-order deliveries (per-source sequence inversions on
+     *  one (src, dst, vnet) channel). */
+    std::uint64_t
+    oooDelivered(int vnet) const
+    {
+        return _oooDelivered[std::size_t(vnet)]->value();
+    }
 
   protected:
     /**
@@ -144,15 +192,34 @@ class Network : public SimObject
      *  the ledger entry @p id is retired when the handler runs. */
     void deliverAt(Tick when, MsgPtr msg, std::uint64_t id);
 
+    /** Retire the ledger entry and update the duplicate /
+     *  out-of-order delivery statistics as @p msg arrives. */
+    void accountDelivery(const NetMsg &msg, std::uint64_t id);
+
+    /** Schedule retransmission attempt @p attempt of a dropped
+     *  message after its (bounded exponential) backoff. The ledger
+     *  entry @p id stays `dropped` until a retransmission lands. */
+    void scheduleRetransmit(std::uint64_t id, MsgPtr msg,
+                            Tick latency, unsigned attempt);
+
     std::vector<Handler> _handlers;
     FaultInjector *_faults = nullptr;
+    RecoveryConfig _recovery{};
     std::map<std::uint64_t, InFlightMsg> _ledger;
     std::uint64_t _nextMsgId = 0;
+    std::vector<std::uint64_t> _srcSeq;       //!< per-source stamps
+    DedupFilter _deliveryTracker;             //!< dup-delivery stats
+    std::vector<std::uint64_t> _maxDelivered; //!< per-channel max seq
     Counter &_messages;
     Counter &_flitHops;
     Counter &_faultDropped;
     Counter &_faultDuplicated;
     Counter &_faultDelayed;
+    Counter &_retransmits;
+    Counter &_recovered;
+    std::array<Counter *, numVNets> _dupDelivered;
+    std::array<Counter *, numVNets> _oooDelivered;
+    Histogram &_retxBackoff;
 };
 
 } // namespace wb

@@ -1,0 +1,123 @@
+#include "recovery/equivalence.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wb
+{
+
+EndState
+captureEndState(System &sys)
+{
+    std::vector<Addr> lines = sys.memory().lineAddrs();
+    for (int i = 0; i < sys.numCores(); ++i) {
+        const auto l1 = sys.l1(i).cachedLines();
+        lines.insert(lines.end(), l1.begin(), l1.end());
+        const auto llc = sys.llc(i).cachedLines();
+        lines.insert(lines.end(), llc.begin(), llc.end());
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()),
+                lines.end());
+
+    EndState st;
+    for (const Addr line : lines) {
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            const Addr addr = line + Addr(w) * wordBytes;
+            const std::uint64_t v = sys.peekCoherent(addr);
+            if (v != 0)
+                st.words.emplace_back(addr, v);
+        }
+    }
+    st.completed = sys.allDone();
+    st.tsoViolations =
+        sys.checker() ? sys.checker()->violations().size() : 0;
+    return st;
+}
+
+EndState
+runReference(const SystemConfig &cfg, const Workload &workload)
+{
+    SystemConfig ref = cfg;
+    ref.faults = FaultConfig{};
+    ref.recovery = RecoveryConfig{};
+    System sys(ref, workload);
+    sys.run();
+    return captureEndState(sys);
+}
+
+namespace
+{
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+} // namespace
+
+EquivalenceReport
+compareEndStates(const EndState &recovered, const EndState &reference)
+{
+    EquivalenceReport rep;
+    if (recovered.completed != reference.completed) {
+        rep.divergence =
+            std::string("completion differs: recovered=") +
+            (recovered.completed ? "true" : "false") +
+            " reference=" + (reference.completed ? "true" : "false");
+        return rep;
+    }
+    if (recovered.tsoViolations != reference.tsoViolations) {
+        std::ostringstream os;
+        os << "TSO verdict differs: recovered="
+           << recovered.tsoViolations
+           << " violation(s) reference=" << reference.tsoViolations;
+        rep.divergence = os.str();
+        return rep;
+    }
+    // Both sides are sorted by address: walk them in lockstep and
+    // name the first word that is missing, extra, or different.
+    std::size_t i = 0, j = 0;
+    while (i < recovered.words.size() &&
+           j < reference.words.size()) {
+        const auto &[ra, rv] = recovered.words[i];
+        const auto &[fa, fv] = reference.words[j];
+        if (ra == fa) {
+            if (rv != fv) {
+                std::ostringstream os;
+                os << "word " << hexAddr(ra)
+                   << " differs: recovered=" << rv
+                   << " reference=" << fv;
+                rep.divergence = os.str();
+                return rep;
+            }
+            ++i;
+            ++j;
+        } else if (ra < fa) {
+            rep.divergence = "extra non-zero word " + hexAddr(ra) +
+                             " in recovered run";
+            return rep;
+        } else {
+            rep.divergence = "word " + hexAddr(fa) +
+                             " missing from recovered run";
+            return rep;
+        }
+    }
+    if (i < recovered.words.size()) {
+        rep.divergence = "extra non-zero word " +
+                         hexAddr(recovered.words[i].first) +
+                         " in recovered run";
+        return rep;
+    }
+    if (j < reference.words.size()) {
+        rep.divergence = "word " +
+                         hexAddr(reference.words[j].first) +
+                         " missing from recovered run";
+        return rep;
+    }
+    rep.match = true;
+    return rep;
+}
+
+} // namespace wb

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * End-state equivalence checking for faulty-but-recovered runs.
+ *
+ * A lossy network plus the recovery layer must be *observationally
+ * equivalent* to a fault-free network: same final memory image, same
+ * TSO checker verdict, same completion status. This module captures
+ * the architecturally visible end state of a finished System and
+ * compares it against the fault-free reference run of the same
+ * (workload, seed) pair. The campaign runner wires this up as the
+ * `--verify-equivalence` mode: every recovered job re-runs its twin
+ * with faults cleared and recovery disabled, and any divergence is a
+ * verdict-level failure.
+ *
+ * The end state is the set of non-zero (word address, value) pairs
+ * over the union of every populated backing-store line and every
+ * data-bearing cache line, read through System::peekCoherent so that
+ * dirty private copies win over stale LLC/memory images. Two runs
+ * whose line *residency* differs (different eviction interleavings)
+ * still compare equal when every architecturally visible word value
+ * matches — which is exactly the property recovery must preserve.
+ */
+
+#ifndef WB_RECOVERY_EQUIVALENCE_HH
+#define WB_RECOVERY_EQUIVALENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace wb
+{
+
+/** Architecturally visible end state of one finished run. */
+struct EndState
+{
+    /** Non-zero word values, sorted by address. */
+    std::vector<std::pair<Addr, std::uint64_t>> words;
+    bool completed = false;
+    std::size_t tsoViolations = 0;
+};
+
+/** Capture the end state of a run that has finished executing. */
+EndState captureEndState(System &sys);
+
+/** Build and run the fault-free twin of @p cfg (faults cleared,
+ *  recovery disabled — the reference semantics) and capture it. */
+EndState runReference(const SystemConfig &cfg,
+                      const Workload &workload);
+
+/** Outcome of one equivalence comparison. */
+struct EquivalenceReport
+{
+    bool match = false;
+    /** Empty on match, else names the first divergence. */
+    std::string divergence;
+};
+
+/** Compare a faulty-but-recovered run against its reference. */
+EquivalenceReport compareEndStates(const EndState &recovered,
+                                   const EndState &reference);
+
+} // namespace wb
+
+#endif // WB_RECOVERY_EQUIVALENCE_HH

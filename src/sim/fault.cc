@@ -73,6 +73,34 @@ FaultConfig::spec() const
     return s;
 }
 
+std::string
+FaultConfig::validate() const
+{
+    const struct
+    {
+        const char *name;
+        double prob;
+    } probs[] = {
+        {"delay", delayProb},
+        {"dup", dupProb},
+        {"reorder", reorderProb},
+        {"drop", dropProb},
+    };
+    for (const auto &p : probs)
+        if (p.prob < 0.0 || p.prob > 1.0)
+            return std::string(p.name) +
+                   " probability outside [0,1]: " + probStr(p.prob);
+    if (delayProb > 0.0 && delayMax == 0)
+        return "delay armed with zero delayMax";
+    if (dupProb > 0.0 && dupOffsetMax == 0)
+        return "dup armed with zero dupOffsetMax";
+    if (reorderProb > 0.0 && (reorderBurst == 0 || reorderMax == 0))
+        return "reorder armed with zero burst or max";
+    if (dropProb > 0.0 && dropMax == 0)
+        return "drop armed with zero dropMax";
+    return "";
+}
+
 bool
 parseFaultSpec(const std::string &spec, FaultConfig &out,
                std::string &err)
@@ -157,6 +185,14 @@ parseFaultSpec(const std::string &spec, FaultConfig &out,
             err = "unknown fault key '" + key + "'";
             return false;
         }
+    }
+    // The per-clause checks above should make this unreachable, but
+    // keep the parsed config honest against the same contract that
+    // guards programmatic FaultConfigs.
+    const std::string bad = cfg.validate();
+    if (!bad.empty()) {
+        err = bad;
+        return false;
     }
     out = cfg;
     err.clear();

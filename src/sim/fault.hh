@@ -65,6 +65,15 @@ struct FaultConfig
 
     /** Canonical spec string (round-trips through parseFaultSpec). */
     std::string spec() const;
+
+    /**
+     * Sanity-check a config built programmatically (the parser
+     * enforces the same rules clause by clause): probabilities must
+     * lie in [0,1] and every armed bound must be non-zero — a zero
+     * bound would feed Rng::below(0). @return "" when valid,
+     * otherwise a message naming the offending field.
+     */
+    std::string validate() const;
 };
 
 /**

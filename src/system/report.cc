@@ -45,11 +45,33 @@ writeJsonReport(std::ostream &os, const std::string &workload,
     w.field("stores", r.stores);
     w.field("atomics", r.atomics);
     w.field("flitHops", r.flitHops);
+    // Per-vnet delivery-anomaly counters, reported next to the
+    // flit-hop metric they contextualise. Always on (counted even
+    // without recovery) so lossy transports are visible in any run.
+    {
+        static const char *kVNets[] = {"request", "forward",
+                                       "response"};
+        w.openObject("dupDelivered");
+        for (std::size_t v = 0; v < r.dupDelivered.size(); ++v)
+            w.field(kVNets[v], r.dupDelivered[v]);
+        w.closeObject();
+        w.openObject("oooDelivered");
+        for (std::size_t v = 0; v < r.oooDelivered.size(); ++v)
+            w.field(kVNets[v], r.oooDelivered[v]);
+        w.closeObject();
+    }
     w.field("messages", r.messages);
     w.field("leakedMessages", r.leakedMessages);
     w.field("faultsDropped", r.faultsDropped);
     w.field("faultsDuplicated", r.faultsDuplicated);
     w.field("faultsDelayed", r.faultsDelayed);
+    w.field("recoveryEnabled", r.recoveryEnabled);
+    w.field("retransmits", r.retransmits);
+    w.field("recoveredMessages", r.recoveredMessages);
+    w.field("arqReissues", r.arqReissues);
+    w.field("arqRecovered", r.arqRecovered);
+    w.field("dedupHits", r.dedupHits);
+    w.field("orphansAbsorbed", r.orphansAbsorbed);
     w.field("writersBlockEntries", r.wbEntries);
     w.field("writersBlockEncounters", r.wbEncounters);
     w.field("uncacheableReads", r.uncacheableReads);

@@ -27,8 +27,19 @@ System::System(const SystemConfig &cfg, const Workload &workload)
     for (const auto &[addr, value] : workload.initMem)
         _memory.poke(addr, value);
 
-    if (cfg.faults.enabled())
+    if (cfg.faults.enabled()) {
+        // Programmatic configs bypass parseFaultSpec's validation;
+        // reject malformed probabilities/bounds here too.
+        const std::string err = cfg.faults.validate();
+        if (!err.empty())
+            fatal("fault config: %s", err.c_str());
         _faults = std::make_unique<FaultInjector>(cfg.faults);
+    }
+    if (cfg.recovery.enabled &&
+        (cfg.recovery.pollCycles == 0 ||
+         cfg.recovery.retryTimeoutCycles == 0 ||
+         cfg.recovery.retransmitBaseCycles == 0))
+        fatal("recovery config: cycle parameters must be >= 1");
 
     if (cfg.network == NetworkKind::Mesh) {
         MeshConfig mc = cfg.mesh;
@@ -44,6 +55,8 @@ System::System(const SystemConfig &cfg, const Workload &workload)
     }
     if (_faults)
         _net->setFaultInjector(_faults.get());
+    if (cfg.recovery.enabled)
+        _net->setRecovery(cfg.recovery);
 
     if (cfg.checker)
         _checker =
@@ -65,6 +78,10 @@ System::System(const SystemConfig &cfg, const Workload &workload)
             "core." + std::to_string(i), &_eq, &_stats, i, core_cfg,
             _l1s.back().get(), &_programs[std::size_t(i)]));
         _l1s.back()->setCore(_cores.back().get());
+        if (cfg.recovery.enabled) {
+            _l1s.back()->setRecovery(cfg.recovery);
+            _llcs.back()->setRecovery(cfg.recovery);
+        }
         if (_checker) {
             _l1s.back()->setObserver(_checker.get());
             _cores.back()->setChecker(_checker.get());
@@ -321,6 +338,8 @@ System::drainTeardown()
             pollTransactionAges())
             return;
     }
+    if (_cfg.recovery.enabled)
+        reclassifyRecoveredRequests();
     std::string why;
     if (!cleanTeardown(&why)) {
         _deadlocked = true;
@@ -331,6 +350,28 @@ System::drainTeardown()
                      static_cast<unsigned long long>(_cycle),
                      why.c_str());
         dumpStateToStderr();
+    }
+}
+
+void
+System::reclassifyRecoveredRequests()
+{
+    // A dropped request created no directory state, so no
+    // retransmission chases it; its owner's ARQ re-issue recovers
+    // the transaction instead. Once the issuing L1 has nothing
+    // outstanding for the line, the transaction provably completed
+    // through a re-issue: retire the ledger entry as `recovered` so
+    // the drain invariant (injected == delivered + recovered +
+    // leaked) stays exact and the leak check only reports real
+    // losses.
+    for (const auto &e : _net->undelivered()) {
+        if (!e.dropped || e.vnet != int(VNet::Request))
+            continue;
+        if (e.src < 0 || e.src >= _cfg.numCores)
+            continue;
+        const L1Controller &l1 = *_l1s[std::size_t(e.src)];
+        if (!l1.lineOutstanding(lineOf(e.addr)))
+            _net->markRecovered(e.id);
     }
 }
 
@@ -354,6 +395,17 @@ System::snapshot() const
     r.faultsDropped = _stats.counterValue("net.faultDropped");
     r.faultsDuplicated = _stats.counterValue("net.faultDuplicated");
     r.faultsDelayed = _stats.counterValue("net.faultDelayed");
+    r.recoveryEnabled = _cfg.recovery.enabled;
+    r.retransmits = _stats.counterValue("net.retransmits");
+    r.recoveredMessages = _stats.counterValue("net.recovered");
+    r.arqReissues = _stats.sumCounters(".arqReissues");
+    r.arqRecovered = _stats.sumCounters(".arqRecovered");
+    r.dedupHits = _stats.sumCounters(".dedupHits");
+    r.orphansAbsorbed = _stats.sumCounters(".orphansAbsorbed");
+    for (int v = 0; v < numVNets; ++v) {
+        r.dupDelivered[std::size_t(v)] = _net->dupDelivered(v);
+        r.oooDelivered[std::size_t(v)] = _net->oooDelivered(v);
+    }
     r.wbEntries = _stats.sumCounters(".writersBlockEntries");
     r.wbEncounters = _stats.sumCounters(".writersBlockEncounters");
     r.uncacheableReads = _stats.sumCounters(".uncacheableReads");

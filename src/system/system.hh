@@ -10,6 +10,7 @@
 #ifndef WB_SYSTEM_SYSTEM_HH
 #define WB_SYSTEM_SYSTEM_HH
 
+#include <array>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -24,6 +25,7 @@
 #include "isa/program.hh"
 #include "network/ideal.hh"
 #include "network/mesh.hh"
+#include "recovery/recovery.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/stats.hh"
@@ -53,6 +55,11 @@ struct SystemConfig
 
     /** Network fault campaign; inactive unless faults.enabled(). */
     FaultConfig faults{};
+
+    /** Message-loss recovery layer (endpoint ARQ + transport
+     *  retransmission + duplicate-safe sinks); off by default so
+     *  fault runs keep their fail-fast classification. */
+    RecoveryConfig recovery{};
 
     // Per-transaction watchdog (escalates warn -> dump -> verdict).
     Tick txnWarnCycles = 120'000;     //!< stderr warning + dump
@@ -95,6 +102,19 @@ struct SimResults
     std::uint64_t faultsDropped = 0;
     std::uint64_t faultsDuplicated = 0;
     std::uint64_t faultsDelayed = 0;
+
+    // recovery layer (all zero when recovery is disabled, except the
+    // delivery-order statistics, which are always collected)
+    bool recoveryEnabled = false;
+    std::uint64_t retransmits = 0;    //!< transport re-sends of drops
+    std::uint64_t recoveredMessages = 0; //!< drops delivered/retired
+    std::uint64_t arqReissues = 0;    //!< L1 request re-issues
+    std::uint64_t arqRecovered = 0;   //!< transactions completed
+                                      //!< after >= 1 re-issue
+    std::uint64_t dedupHits = 0;      //!< duplicate deliveries eaten
+    std::uint64_t orphansAbsorbed = 0; //!< replayed grants absorbed
+    std::array<std::uint64_t, 3> dupDelivered{}; //!< per vnet
+    std::array<std::uint64_t, 3> oooDelivered{}; //!< per vnet
 
     // WritersBlock / protocol events
     std::uint64_t wbEntries = 0;      //!< directory WritersBlocks
@@ -239,6 +259,10 @@ class System
     /** Let post-completion traffic settle, then run the leak check;
      *  sets the deadlock verdict if the machine never goes quiet. */
     void drainTeardown();
+
+    /** Retire dropped request-vnet ledger entries whose transaction
+     *  provably completed through an endpoint ARQ re-issue. */
+    void reclassifyRecoveredRequests();
 
     SystemConfig _cfg;
     EventQueue _eq;

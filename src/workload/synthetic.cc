@@ -43,11 +43,33 @@ emitRandomAddr(ProgramBuilder &b, Reg base, std::uint64_t words)
     b.add(rAddr, base, rTmp);
 }
 
+/** Single-writer variant: rAddr lands on this thread's word slice
+ *  (word index == thread mod threads), so no two threads ever store
+ *  to the same word and the final image is interleaving-independent.
+ *  Other threads still *load* these words freely. */
+void
+emitOwnedAddr(ProgramBuilder &b, Reg base, std::uint64_t words,
+              int thread, int threads)
+{
+    assert(threads > 0 && (threads & (threads - 1)) == 0);
+    assert(words >= std::uint64_t(threads) * 2);
+    b.mul(rLcg, rLcg, rMul);
+    b.addi(rLcg, rLcg, 12345);
+    const std::int64_t mask =
+        std::int64_t((words - 1) * wordBytes) &
+        ~std::int64_t(std::uint64_t(threads) * wordBytes - 1);
+    b.andi(rTmp, rLcg, mask);
+    b.add(rAddr, base, rTmp);
+    b.addi(rAddr, rAddr, thread * std::int64_t(wordBytes));
+}
+
 class BodyEmitter
 {
   public:
-    BodyEmitter(ProgramBuilder &b, const SyntheticParams &p, Rng &rng)
-        : _b(b), _p(p), _rng(rng)
+    BodyEmitter(ProgramBuilder &b, const SyntheticParams &p,
+                Rng &rng, int thread, int threads)
+        : _b(b), _p(p), _rng(rng), _thread(thread),
+          _threads(threads)
     {}
 
     void
@@ -71,7 +93,12 @@ class BodyEmitter
     emitAlu()
     {
         switch (_rng.below(4)) {
-          case 0: _b.add(rAcc, rAcc, rVal); break;
+          case 0:
+            // Equivalence-safe mode must not let loaded (and hence
+            // interleaving-dependent) values reach rAcc, which
+            // stores write back to memory.
+            _b.add(rAcc, rAcc, _p.singleWriter ? rLcg : rVal);
+            break;
           case 1: _b.xor_(rAcc, rAcc, rLcg); break;
           case 2: _b.addi(rAcc, rAcc, 7); break;
           default: _b.mul(rAcc, rAcc, rMul); break;
@@ -90,8 +117,12 @@ class BodyEmitter
             // Hot subregion: heavily contended lines where racing
             // invalidations meet in-flight reordered loads.
             const bool hot = _rng.uniform() < _p.hotRatio;
-            emitRandomAddr(_b, rShared,
-                           hot ? _p.hotWords : _p.sharedWords);
+            if (store && _p.singleWriter)
+                emitOwnedAddr(_b, rShared, _p.sharedWords, _thread,
+                              _threads);
+            else
+                emitRandomAddr(_b, rShared,
+                               hot ? _p.hotWords : _p.sharedWords);
         } else {
             emitRandomAddr(_b, rPriv, _p.privateWords);
         }
@@ -99,19 +130,24 @@ class BodyEmitter
             _b.st(rAddr, rAcc);
         } else if (chained) {
             // Serialising load: the next address depends on the
-            // value (pointer-chase flavour).
+            // value (pointer-chase flavour). Not in single-writer
+            // mode — loaded values may not steer the address LCG.
             _b.ld(rVal, rAddr);
-            _b.xor_(rLcg, rLcg, rVal);
+            if (!_p.singleWriter)
+                _b.xor_(rLcg, rLcg, rVal);
         } else {
             _b.ld(rVal, rAddr);
         }
         // Spatial locality: a short burst of nearby accesses reuses
         // the computed address, keeping the fraction of memory
         // instructions realistic (one LCG step would otherwise cost
-        // four ALU instructions per access).
+        // four ALU instructions per access). Burst stores write the
+        // last-loaded value and stray off the owned slice, so
+        // single-writer mode bursts loads only.
         const int burst = int(_rng.below(3));
         for (int i = 1; i <= burst; ++i) {
-            if (_rng.uniform() < _p.storeRatio)
+            if (!_p.singleWriter &&
+                _rng.uniform() < _p.storeRatio)
                 _b.st(rAddr, rVal, i * std::int64_t(wordBytes));
             else
                 _b.ld(rVal, rAddr, i * std::int64_t(wordBytes));
@@ -146,8 +182,16 @@ class BodyEmitter
         _b.addi(rLock, rLocks, lock_off);
         emitLockAcquire(_b, rLock, rTmp, rOne);
         for (int i = 0; i < _p.lockSectionOps; ++i) {
-            emitRandomAddr(_b, rShared, _p.sharedWords);
-            if (_rng.chance(0.5))
+            const bool store = _rng.chance(0.5);
+            // Locks serialise the *accesses*, not which thread runs
+            // its section last, so single-writer mode keeps the
+            // slice discipline inside sections too.
+            if (store && _p.singleWriter)
+                emitOwnedAddr(_b, rShared, _p.sharedWords, _thread,
+                              _threads);
+            else
+                emitRandomAddr(_b, rShared, _p.sharedWords);
+            if (store)
                 _b.st(rAddr, rAcc);
             else
                 _b.ld(rVal, rAddr);
@@ -158,10 +202,12 @@ class BodyEmitter
     ProgramBuilder &_b;
     const SyntheticParams &_p;
     Rng &_rng;
+    int _thread;
+    int _threads;
 };
 
 Program
-makeThread(const SyntheticParams &p, int thread,
+makeThread(const SyntheticParams &p, int thread, int threads,
            std::uint64_t seed)
 {
     Rng rng(seed);
@@ -179,7 +225,7 @@ makeThread(const SyntheticParams &p, int thread,
 
     auto loop = b.newLabel();
     b.bind(loop);
-    BodyEmitter e(b, p, rng);
+    BodyEmitter e(b, p, rng, thread, threads);
     for (int i = 0; i < p.bodyOps; ++i)
         e.emitAction();
     b.addi(rI, rI, 1);
@@ -199,12 +245,19 @@ makeSynthetic(const SyntheticParams &p, int num_threads)
     if (p.sharedWords == 0 ||
         (p.sharedWords & (p.sharedWords - 1)) != 0)
         fatal("sharedWords must be a power of two");
+    if (p.singleWriter) {
+        if (num_threads <= 0 ||
+            (num_threads & (num_threads - 1)) != 0)
+            fatal("singleWriter needs a power-of-two thread count");
+        if (p.sharedWords < std::uint64_t(num_threads) * 2)
+            fatal("singleWriter needs sharedWords >= 2*threads");
+    }
 
     Workload wl;
     wl.name = p.name;
     for (int t = 0; t < num_threads; ++t)
-        wl.threads.push_back(
-            makeThread(p, t, p.seed * 7919 + std::uint64_t(t)));
+        wl.threads.push_back(makeThread(
+            p, t, num_threads, p.seed * 7919 + std::uint64_t(t)));
     return wl;
 }
 

@@ -44,6 +44,22 @@ struct SyntheticParams
     int lockSectionOps = 3;    //!< shared ops inside the section
     double branchRatio = 0.12; //!< actions that branch
     double unpredictable = 0.5;//!< of branches: data dependent
+
+    /**
+     * Equivalence-safe generation: make the final memory image a
+     * pure function of (params, seed), independent of thread
+     * interleaving, so a run can be compared word-for-word against
+     * a differently-timed run of the same workload (the end-state
+     * equivalence check of docs/RESILIENCE.md). Three changes:
+     * store values never incorporate loaded data, shared *stores* go
+     * to a per-thread slice of the shared region (single writer per
+     * word; loads still roam the whole region, so invalidation and
+     * WritersBlock traffic remains), and pointer-chase loads no
+     * longer fold the loaded value into the address LCG. Requires a
+     * power-of-two thread count.
+     */
+    bool singleWriter = false;
+
     std::uint64_t seed = 1;
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/fault.hh"
+#include "sim/rng.hh"
 #include "system/system.hh"
 #include "workload/litmus.hh"
 
@@ -65,6 +66,102 @@ TEST(FaultSpec, RejectsBadClauses)
     EXPECT_FALSE(parseFaultSpec("drop=-0.1", cfg, err));
     EXPECT_FALSE(parseFaultSpec("seed=", cfg, err));
     EXPECT_FALSE(parseFaultSpec("delay", cfg, err));
+}
+
+TEST(FaultSpec, ValidateRejectsBadProgrammaticConfigs)
+{
+    FaultConfig cfg;
+    EXPECT_TRUE(cfg.validate().empty()) << cfg.validate();
+
+    // Probabilities outside [0,1] — reachable only when the config
+    // is built programmatically, which is exactly what validate()
+    // guards (System's ctor fatals on a non-empty result).
+    cfg.dropProb = 1.5;
+    EXPECT_NE(cfg.validate().find("drop"), std::string::npos);
+    cfg.dropProb = 0.0;
+    cfg.delayProb = -0.25;
+    EXPECT_NE(cfg.validate().find("delay"), std::string::npos);
+    cfg.delayProb = 0.0;
+
+    // Zero bounds on an armed class would feed Rng::below(0).
+    cfg.delayProb = 0.5;
+    cfg.delayMax = 0;
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg = FaultConfig{};
+    cfg.dupProb = 0.5;
+    cfg.dupOffsetMax = 0;
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg = FaultConfig{};
+    cfg.reorderProb = 0.5;
+    cfg.reorderBurst = 0;
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg = FaultConfig{};
+    cfg.dropProb = 0.5;
+    cfg.dropMax = 0;
+    EXPECT_FALSE(cfg.validate().empty());
+
+    // A zero bound on a *disarmed* class is harmless.
+    cfg = FaultConfig{};
+    cfg.delayMax = 0;
+    EXPECT_TRUE(cfg.validate().empty()) << cfg.validate();
+}
+
+TEST(FaultSpec, SpecParseRoundTripFuzz)
+{
+    // Deterministic fuzz of the spec() <-> parseFaultSpec round
+    // trip: any valid config must serialise to a spec that parses
+    // back to the same config, fixed point after one round.
+    Rng rng(0xF00DF00Du);
+    auto prob = [&]() {
+        // Favour round-ish values so "%g" formatting is exercised
+        // across short and long decimal forms.
+        return double(rng.below(10'000)) / 10'000.0;
+    };
+    for (int i = 0; i < 500; ++i) {
+        FaultConfig cfg;
+        cfg.seed = rng.below(1'000'000) + 1;
+        if (rng.below(2)) {
+            cfg.delayProb = prob();
+            cfg.delayMax = Tick(rng.below(500)) + 1;
+        }
+        if (rng.below(2)) {
+            cfg.dupProb = prob();
+            cfg.dupOffsetMax = Tick(rng.below(64)) + 1;
+        }
+        if (rng.below(2)) {
+            cfg.reorderProb = prob();
+            cfg.reorderBurst = unsigned(rng.below(32)) + 1;
+            cfg.reorderMax = Tick(rng.below(128)) + 1;
+        }
+        if (rng.below(2)) {
+            cfg.dropProb = prob();
+            cfg.dropMax = unsigned(rng.below(16)) + 1;
+        }
+        ASSERT_TRUE(cfg.validate().empty())
+            << i << ": " << cfg.validate();
+
+        const std::string canon = cfg.spec();
+        FaultConfig again;
+        std::string err;
+        ASSERT_TRUE(parseFaultSpec(canon, again, err))
+            << i << ": " << canon << ": " << err;
+        EXPECT_EQ(again.spec(), canon) << i;
+        EXPECT_EQ(again.seed, cfg.seed) << i;
+        EXPECT_DOUBLE_EQ(again.delayProb, cfg.delayProb) << i;
+        EXPECT_DOUBLE_EQ(again.dupProb, cfg.dupProb) << i;
+        EXPECT_DOUBLE_EQ(again.reorderProb, cfg.reorderProb) << i;
+        EXPECT_DOUBLE_EQ(again.dropProb, cfg.dropProb) << i;
+        if (cfg.delayProb > 0.0)
+            EXPECT_EQ(again.delayMax, cfg.delayMax) << i;
+        if (cfg.dupProb > 0.0)
+            EXPECT_EQ(again.dupOffsetMax, cfg.dupOffsetMax) << i;
+        if (cfg.reorderProb > 0.0) {
+            EXPECT_EQ(again.reorderBurst, cfg.reorderBurst) << i;
+            EXPECT_EQ(again.reorderMax, cfg.reorderMax) << i;
+        }
+        if (cfg.dropProb > 0.0)
+            EXPECT_EQ(again.dropMax, cfg.dropMax) << i;
+    }
 }
 
 TEST(FaultSpec, DefaultConfigIsDisabled)

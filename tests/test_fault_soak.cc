@@ -76,14 +76,28 @@ struct Mix
     const char *name;
     const char *spec; //!< "" = fault-free control
     bool hasDrops;
+    /** With duplication also armed, a heavily delayed duplicate can
+     *  hit a retired MSHR and panic before the drop wedge is
+     *  diagnosed, so a drop no longer guarantees the Deadlock
+     *  verdict — only *a* classified abnormal outcome. */
+    bool dropMustDeadlock;
 };
 
 constexpr Mix kMixes[] = {
-    {"clean", "", false},
-    {"delay", "delay=0.02:120", false},
-    {"reorder", "reorder=0.05:8:48", false},
-    {"dup", "dup=0.02", false},
-    {"drop", "drop=0.01:2", true},
+    {"clean", "", false, true},
+    {"delay", "delay=0.02:120", false, true},
+    {"reorder", "reorder=0.05:8:48", false, true},
+    {"dup", "dup=0.02", false, true},
+    {"drop", "drop=0.01:2", true, true},
+    // All four fault classes armed together: the soak's hardest
+    // column, pinning down cross-class interactions (a duplicated
+    // *and* delayed message, a drop inside a reorder burst, ...).
+    // Drops aren't guaranteed at this probability/budget, and when
+    // they do land the verdict may be a dup-induced panic instead
+    // of the drop deadlock.
+    {"storm-all", "delay=0.02:100,reorder=0.03:6:48,dup=0.015,"
+                  "drop=0.008:2",
+     false, false},
 };
 
 } // namespace
@@ -136,8 +150,13 @@ TEST(FaultSoak, EveryRunEndsClassified)
                 // a stuck MSHR or the undelivered message, and the
                 // crash dump must exist and carry the provenance.
                 if (cr.results.faultsDropped > 0) {
-                    EXPECT_EQ(cr.outcome, RunOutcome::Deadlock)
-                        << cr.verdict << ": " << cr.detail;
+                    if (mix.dropMustDeadlock) {
+                        EXPECT_EQ(cr.outcome, RunOutcome::Deadlock)
+                            << cr.verdict << ": " << cr.detail;
+                    } else {
+                        EXPECT_NE(cr.outcome, RunOutcome::Ok)
+                            << cr.verdict << ": " << cr.detail;
+                    }
                     std::ifstream f(dump_path);
                     ASSERT_TRUE(f.good());
                     std::stringstream ss;
@@ -146,13 +165,15 @@ TEST(FaultSoak, EveryRunEndsClassified)
                     EXPECT_NE(
                         json.find("\"schema\":\"wbsim-crash-1\""),
                         std::string::npos);
-                    const bool names_mshr =
-                        json.find("\"mshrs\":[{") !=
-                        std::string::npos;
-                    const bool names_msg =
-                        json.find("\"dropped\":true") !=
-                        std::string::npos;
-                    EXPECT_TRUE(names_mshr || names_msg);
+                    if (cr.outcome == RunOutcome::Deadlock) {
+                        const bool names_mshr =
+                            json.find("\"mshrs\":[{") !=
+                            std::string::npos;
+                        const bool names_msg =
+                            json.find("\"dropped\":true") !=
+                            std::string::npos;
+                        EXPECT_TRUE(names_mshr || names_msg);
+                    }
                 }
                 if (mix.hasDrops) {
                     EXPECT_GT(cr.results.faultsDropped, 0u)

@@ -57,6 +57,14 @@ usage()
         "                    (default for --builtin fault; the\n"
         "                    invariants then judge classified\n"
         "                    panics/deadlocks)\n"
+        "  --recovery        arm the loss-recovery layer (ARQ +\n"
+        "                    dedup) for every job, overriding the\n"
+        "                    manifest\n"
+        "  --verify-equivalence\n"
+        "                    implies --recovery; additionally replay\n"
+        "                    each faulted run fault-free and fail\n"
+        "                    unless the end states match\n"
+        "                    (docs/RESILIENCE.md)\n"
         "  --strict          without --check-faults, deadlocks and\n"
         "                    incomplete runs also fail\n"
         "  --dry-run         print the expanded job list and exit\n"
@@ -94,6 +102,8 @@ main(int argc, char **argv)
     bool strict = false;
     bool dry_run = false;
     bool progress = true;
+    bool recovery = false;
+    bool verify_equivalence = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -125,6 +135,10 @@ main(int argc, char **argv)
             csv_path = next();
         else if (a == "--check-faults")
             check_faults = true;
+        else if (a == "--recovery")
+            recovery = true;
+        else if (a == "--verify-equivalence")
+            verify_equivalence = true;
         else if (a == "--strict")
             strict = true;
         else if (a == "--dry-run")
@@ -165,6 +179,8 @@ main(int argc, char **argv)
     }
     if (seeds_override > 0)
         spec.seeds = seeds_override;
+    if (recovery || verify_equivalence)
+        spec.recovery.enabled = true;
     {
         const std::string bad = spec.validate();
         if (!bad.empty()) {
@@ -191,6 +207,7 @@ main(int argc, char **argv)
     opts.jobs = jobs;
     opts.outDir = out_dir;
     opts.progress = progress;
+    opts.verifyEquivalence = verify_equivalence;
     CampaignRunner runner(spec, opts);
 
     std::printf("campaign %s: %zu jobs on %d worker%s\n",
@@ -206,13 +223,19 @@ main(int argc, char **argv)
                 s.done, s.ok, s.deadlocks, s.panics,
                 s.tsoViolations, s.infraFailures, s.incomplete,
                 s.retried, result.wallSeconds);
+    if (verify_equivalence)
+        std::printf("equivalence: %zu checked, %zu mismatch%s\n",
+                    s.equivalenceChecked, s.equivalenceMismatches,
+                    s.equivalenceMismatches == 1 ? "" : "es");
 
     // TSO violations and infrastructure failures always fail the
     // campaign. Classified panics/deadlocks fail it too — unless
     // the fault invariants are the authority: under dup/drop mixes
     // those are the *expected* outcomes, and the invariant checker
     // decides whether each one is legitimate.
-    int failures = int(s.tsoViolations + s.infraFailures);
+    int failures =
+        int(s.tsoViolations + s.infraFailures +
+            s.equivalenceMismatches);
     if (check_faults) {
         const auto broken = checkFaultInvariants(result);
         for (const std::string &b : broken)
