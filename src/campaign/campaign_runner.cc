@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "campaign/campaign_aggregator.hh"
+#include "obs/perfetto.hh"
 #include "recovery/equivalence.hh"
 #include "sim/log.hh"
 
@@ -63,6 +64,25 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
         if (!eq.match) {
             res.verdict = "equivalence-mismatch";
             res.detail = eq.divergence;
+        }
+    }
+
+    // Per-job observability exports, keyed by job index so output
+    // names (and contents — both are seed-deterministic) match
+    // across worker counts.
+    if (!out_dir.empty()) {
+        if (const FlightRecorder *fr = sys.flightRecorder()) {
+            std::ofstream tf(out_dir + "/trace-job" +
+                             std::to_string(job.index) + ".json");
+            if (tf)
+                writePerfettoTrace(tf, *fr, cfg.numCores,
+                                   cfg.numCores);
+        }
+        if (const TimelineSampler *tl = sys.timeline()) {
+            std::ofstream cf(out_dir + "/timeline-job" +
+                             std::to_string(job.index) + ".csv");
+            if (cf)
+                tl->writeCsv(cf);
         }
     }
 

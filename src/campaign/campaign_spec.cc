@@ -130,6 +130,7 @@ CampaignSpec::configFor(const JobSpec &job) const
         cfg.faults.seed = job.faultSeed;
     }
     cfg.recovery = recovery;
+    cfg.obs = obs;
     if (configHook)
         configHook(job, cfg);
     return cfg;
@@ -409,6 +410,12 @@ parseCampaignSpec(std::istream &in, CampaignSpec &out,
         } else if (key == "retransmit-budget") {
             out.recovery.retransmitBudget =
                 unsigned(std::strtoul(value.c_str(), nullptr, 0));
+        } else if (key == "flight-recorder") {
+            out.obs.flightRecorder = std::size_t(
+                std::strtoull(value.c_str(), nullptr, 0));
+        } else if (key == "timeline-period") {
+            out.obs.timelinePeriod = Tick(
+                std::strtoull(value.c_str(), nullptr, 0));
         } else {
             return fail("unknown key '" + key + "'");
         }

@@ -104,6 +104,12 @@ struct CampaignSpec
      *  classification. */
     RecoveryConfig recovery{};
 
+    /** Observability layer for every job (manifest keys
+     *  `flight-recorder`, `timeline-period`). When enabled the
+     *  runner writes per-job trace/timeline files next to the
+     *  campaign results. */
+    ObsConfig obs{};
+
     /** Bounded retry budget for runner-infrastructure failures. */
     int maxRetries = 1;
 

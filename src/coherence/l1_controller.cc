@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace wb
@@ -195,6 +196,8 @@ L1Controller::issueLoad(InstSeqNum seq, Addr addr)
     m.kind = Mshr::Kind::Read;
     m.line = line;
     m.born = now();
+    if (auto *fr = recorder())
+        fr->txnBegin(now(), _id, line, 'R');
     _ledger[seq] = "mshr-new";
     m.loads.push_back(WaitingLoad{seq, addr, now()});
     ++_getS;
@@ -222,6 +225,8 @@ L1Controller::maybePrefetch(Addr next_line)
     m.kind = Mshr::Kind::Read;
     m.line = next_line;
     m.born = now();
+    if (auto *fr = recorder())
+        fr->txnBegin(now(), _id, next_line, 'P');
     // No waiting loads: the fill (or a dropped tear-off) is the
     // whole effect.
     ++_prefetches;
@@ -246,6 +251,8 @@ L1Controller::issueGetU(InstSeqNum seq, Addr addr)
     _sosMshr->born = now();
     _sosMshr->loads.push_back(WaitingLoad{seq, addr});
     ++_getU;
+    if (auto *fr = recorder())
+        fr->txnBegin(now(), _id, lineOf(addr), 'U', true);
     send(make(CohType::GetU, lineOf(addr), home(lineOf(addr))));
     return true;
 }
@@ -336,6 +343,8 @@ L1Controller::requestWritePermission(Addr line)
     m.kind = Mshr::Kind::Write;
     m.line = line;
     m.born = now();
+    if (auto *fr = recorder())
+        fr->txnBegin(now(), _id, line, 'W');
     const bool have_s = _array.find(line) != nullptr;
     m.upgrade = have_s;
     if (have_s) {
@@ -514,6 +523,8 @@ L1Controller::tick()
             if (m.kind == Mshr::Kind::Write)
                 send(make(CohType::Unblock, line, home(line)));
             noteRecovered(m.retries);
+            if (auto *fr = recorder())
+                fr->txnEnd(now(), _id, line);
             _mshrs.erase(it);
         } else {
             again.push_back(line);
@@ -609,6 +620,8 @@ L1Controller::reissueMshr(Mshr &m)
     }
     auto msg = make(t, m.line, home(m.line));
     static_cast<CohMsg *>(msg.get())->retry = int(m.retries);
+    WB_EVENT(recorder(), now(), EvKind::ArqReissue, EvUnit::L1, _id,
+             m.line, m.retries);
     send(std::move(msg));
 }
 
@@ -624,6 +637,8 @@ L1Controller::reissueWb(Addr line, WbEntry &wb)
         cm->data = wb.data;
         cm->flits = dataFlits;
     }
+    WB_EVENT(recorder(), now(), EvKind::ArqReissue, EvUnit::L1, _id,
+             line, wb.retries);
     send(std::move(msg));
 }
 
@@ -640,6 +655,8 @@ L1Controller::handleMessage(MsgPtr msg)
         // retransmission racing its original): provably idempotent —
         // the first delivery already ran, this one is dropped whole.
         ++_dedupHits;
+        WB_EVENT(recorder(), now(), EvKind::DedupDrop, EvUnit::L1,
+                 _id, m.line);
         return;
     }
     WB_TRACE(LogFlag::Cache, now(), name().c_str(),
@@ -678,6 +695,8 @@ L1Controller::invalidateLine(Addr line)
     if (it != _mshrs.end() && it->second.fillPending) {
         // The waiting loads already bound (early consumption) under
         // lockdown protection; drop the stale fill entirely.
+        if (auto *fr = recorder())
+            fr->txnAbort(now(), _id, line);
         _mshrs.erase(it);
     }
 }
@@ -909,6 +928,8 @@ L1Controller::handleData(CohMsg &m)
     mshr.dataArrived = true;
     mshr.exclusive = m.exclusive;
     mshr.data = m.data;
+    if (auto *fr = recorder())
+        fr->txnData(now(), _id, m.line);
     for (const auto &wl : mshr.loads) {
         if (wl.issued)
             _missLatency.sample(now() - wl.issued);
@@ -918,6 +939,8 @@ L1Controller::handleData(CohMsg &m)
     send(make(CohType::Unblock, m.line, home(m.line)));
     if (tryFill(mshr)) {
         noteRecovered(mshr.retries);
+        if (auto *fr = recorder())
+            fr->txnEnd(now(), _id, m.line);
         _mshrs.erase(it);
     } else {
         mshr.fillPending = true;
@@ -953,6 +976,8 @@ L1Controller::handleDataX(CohMsg &m)
     mshr.grantSeen = true;
     mshr.acksExpected = m.ackCount;
     mshr.data = m.data;
+    if (auto *fr = recorder())
+        fr->txnData(now(), _id, m.line);
     for (const auto &wl : mshr.loads)
         bindLoad(wl, mshr.data, LoadSource::EarlyData);
     mshr.loads.clear();
@@ -1049,10 +1074,14 @@ L1Controller::maybeCompleteWrite(Mshr &m)
         touchL1(line);
         send(make(CohType::Unblock, line, home(line)));
         noteRecovered(m.retries);
+        if (auto *fr = recorder())
+            fr->txnEnd(now(), _id, line);
         _mshrs.erase(line);
     } else if (tryFill(m)) {
         send(make(CohType::Unblock, line, home(line)));
         noteRecovered(m.retries);
+        if (auto *fr = recorder())
+            fr->txnEnd(now(), _id, line);
         _mshrs.erase(line);
     } else {
         m.fillPending = true;
@@ -1069,6 +1098,8 @@ L1Controller::handleUData(CohMsg &m)
         Mshr mshr = std::move(*_sosMshr);
         _sosMshr.reset();
         noteRecovered(mshr.retries);
+        if (auto *fr = recorder())
+            fr->txnEnd(now(), _id, m.line, true);
         for (const auto &wl : mshr.loads) {
             if (_core->isLoadOrdered(wl.seq)) {
                 ++_tearoffUsed;
@@ -1100,6 +1131,8 @@ L1Controller::handleUData(CohMsg &m)
         }
     }
     noteRecovered(mshr.retries);
+    if (auto *fr = recorder())
+        fr->txnEnd(now(), _id, m.line);
     _mshrs.erase(it);
 }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace wb
@@ -225,6 +226,8 @@ LLCBank::handleMessage(MsgPtr msg)
     // makes every duplicated delivery provably idempotent.
     if (_recovery.enabled && !_dedup.accept(m.src, m.seq)) {
         ++_dedupHits;
+        WB_EVENT(recorder(), now(), EvKind::DedupDrop, EvUnit::LLC,
+                 _id, m.line);
         return;
     }
     switch (m.type) {
@@ -261,6 +264,17 @@ void
 LLCBank::handleRequest(MsgPtr msg)
 {
     auto &m = static_cast<CohMsg &>(*msg);
+    if (auto *fr = recorder()) {
+        // Serialisation-point stamp for the latency breakdown;
+        // first-seen wins, so deferred/retried requests re-entering
+        // here don't move it.
+        if (m.type == CohType::GetS || m.type == CohType::GetX ||
+            m.type == CohType::Upgrade || m.type == CohType::GetU) {
+            const int reqc = m.requestor >= 0 ? m.requestor : m.src;
+            fr->txnDirSeen(now(), _id, reqc, m.line,
+                           m.type == CohType::GetU);
+        }
+    }
     DirEntry *e = lookup(m.line);
 
     if (!e) {
@@ -644,6 +658,8 @@ LLCBank::enterWritersBlock(DirEntry &e, Addr line, DirState st)
     e.state = st;
     e.busySince = now();
     ++_wbEntries;
+    WB_EVENT(recorder(), now(), EvKind::WbEnter, EvUnit::LLC, _id,
+             line);
 
     // Serve every deferred read immediately with tear-off data and
     // hint every deferred writer: from now on reads must not wait
@@ -812,6 +828,10 @@ LLCBank::handleUnblock(DirEntry &e, CohMsg &m)
         return;
       case DirState::BusyWr:
       case DirState::WB:
+        if (e.state == DirState::WB) {
+            if (auto *fr = recorder())
+                fr->wbExit(now(), _id, m.line, now() - e.busySince);
+        }
         e.owner = e.reqor;
         e.sharers = 0;
         e.state = DirState::EM;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight_recorder.hh"
 #include "sim/log.hh"
 
 namespace wb
@@ -477,8 +478,11 @@ Core::bindLoad(InstSeqNum seq, LqEntry &lq, std::uint64_t value,
         lq.lockdown = true;
         ++_lockdownsSet;
         LockInfo &li = _locks[lockdown_line];
-        if (li.count == 0)
+        if (li.count == 0) {
             li.firstSet = now();
+            WB_EVENT(recorder(), now(), EvKind::LockAcquire,
+                     EvUnit::Core, _id, lockdown_line);
+        }
         ++li.count;
         WB_TRACE(LogFlag::Lockdown, now(), name().c_str(),
                  "lockdown set seq %llu line %llx",
@@ -558,7 +562,10 @@ Core::releaseLockdown(Addr line)
     assert(it != _locks.end() && it->second.count > 0);
     if (--it->second.count == 0) {
         const bool owed = it->second.owed;
-        _lockdownCycles.sample(now() - it->second.firstSet);
+        const Tick held = now() - it->second.firstSet;
+        _lockdownCycles.sample(held);
+        if (auto *fr = recorder())
+            fr->lockHeld(now(), _id, line, held);
         _locks.erase(it);
         if (owed) {
             WB_TRACE(LogFlag::Lockdown, now(), name().c_str(),
@@ -704,6 +711,8 @@ Core::commit()
                 _halted = true;
                 ++_commits;
                 ++_committed;
+                WB_EVENT(recorder(), now(), EvKind::Commit,
+                         EvUnit::Core, _id);
                 _rob.erase(it);
             }
             return;
@@ -829,6 +838,8 @@ Core::retireEntry(RobEntry &e)
         _sq.erase(e.seq);
     ++_commits;
     ++_committed;
+    WB_EVENT(recorder(), now(), EvKind::Commit, EvUnit::Core, _id,
+             e.addr);
 }
 
 // ---------------------------------------------------------------
@@ -872,6 +883,8 @@ Core::squashFrom(InstSeqNum first_bad, int new_pc, Counter &reason)
     _pc = new_pc;
     _fetchBlocked = false;
     _fetchStallUntil = now() + _cfg.mispredictPenalty;
+    WB_EVENT(recorder(), now(), EvKind::Squash, EvUnit::Core, _id,
+             0, gone.size());
     recomputeFrontier();
 }
 

@@ -3,8 +3,23 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/flight_recorder.hh"
+
 namespace wb
 {
+
+namespace
+{
+
+/** Pack (src, dst) into the 64-bit event argument. */
+std::uint64_t
+routeArg(const NetMsg &msg)
+{
+    return (std::uint64_t(std::uint32_t(msg.src)) << 32) |
+           std::uint64_t(std::uint32_t(msg.dst));
+}
+
+} // namespace
 
 Network::Network(std::string name, EventQueue *eq,
                  StatRegistry *stats, int num_nodes)
@@ -27,6 +42,9 @@ Network::Network(std::string name, EventQueue *eq,
       _oooDelivered{&statGroup().counter("oooDeliveredReq"),
                     &statGroup().counter("oooDeliveredFwd"),
                     &statGroup().counter("oooDeliveredResp")},
+      _vnetFlitHops{&statGroup().counter("flitHopsReq"),
+                    &statGroup().counter("flitHopsFwd"),
+                    &statGroup().counter("flitHopsResp")},
       _retxBackoff(statGroup().histogram("retxBackoff"))
 {}
 
@@ -82,6 +100,9 @@ Network::inject(Tick when, MsgPtr msg)
     // (including an ARQ re-issue, which is a new request) gets a
     // new one.
     msg->seq = ++_srcSeq[std::size_t(msg->src)];
+
+    WB_EVENT(recorder(), now(), EvKind::NetEnqueue, EvUnit::VNet,
+             int(msg->vnet), Addr(msg->debugAddr()), routeArg(*msg));
 
     FaultDecision d;
     if (_faults)
@@ -144,6 +165,9 @@ Network::scheduleRetransmit(std::uint64_t id, MsgPtr msg,
             if (lit == _ledger.end())
                 return; // entry already resolved
             ++_retransmits;
+            WB_EVENT(recorder(), now(), EvKind::NetRetransmit,
+                     EvUnit::VNet, int(m->vnet),
+                     Addr(m->debugAddr()), routeArg(*m));
             // The retry shares the lossy fabric: consult the (one,
             // seeded) injector stream again, so replays stay
             // bit-identical. Only the drop/delay outcomes apply —
@@ -177,6 +201,9 @@ Network::scheduleRetransmit(std::uint64_t id, MsgPtr msg,
 void
 Network::accountDelivery(const NetMsg &msg, std::uint64_t id)
 {
+    WB_EVENT(recorder(), now(), EvKind::NetDeliver, EvUnit::VNet,
+             int(msg.vnet), Addr(msg.debugAddr()), routeArg(msg));
+
     auto it = _ledger.find(id);
     if (it != _ledger.end()) {
         if (it->second.dropped)

@@ -142,6 +142,14 @@ class Network : public SimObject
     /** Total flit-hops injected so far (traffic metric). */
     std::uint64_t flitHops() const { return _flitHops.value(); }
 
+    /** Flit-hops injected on one virtual network (link-utilization
+     *  gauge for the timeline sampler). */
+    std::uint64_t
+    vnetFlitHops(int vnet) const
+    {
+        return _vnetFlitHops[std::size_t(vnet)]->value();
+    }
+
     /** Total messages injected so far. */
     std::uint64_t messages() const { return _messages.value(); }
 
@@ -182,7 +190,9 @@ class Network : public SimObject
     accountTraffic(const NetMsg &msg, unsigned hops)
     {
         ++_messages;
-        _flitHops += std::uint64_t(msg.flits) * hops;
+        std::uint64_t fh = std::uint64_t(msg.flits) * hops;
+        _flitHops += fh;
+        *_vnetFlitHops[std::size_t(msg.vnet)] += fh;
     }
 
     int _numNodes;
@@ -219,6 +229,7 @@ class Network : public SimObject
     Counter &_recovered;
     std::array<Counter *, numVNets> _dupDelivered;
     std::array<Counter *, numVNets> _oooDelivered;
+    std::array<Counter *, numVNets> _vnetFlitHops;
     Histogram &_retxBackoff;
 };
 

@@ -1,0 +1,176 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wb
+{
+
+const char *
+evKindName(EvKind k)
+{
+    switch (k) {
+      case EvKind::TxnBegin: return "txn-begin";
+      case EvKind::TxnDirSeen: return "txn-dir-seen";
+      case EvKind::TxnData: return "txn-data";
+      case EvKind::TxnEnd: return "txn-end";
+      case EvKind::TxnAbort: return "txn-abort";
+      case EvKind::NetEnqueue: return "net-enqueue";
+      case EvKind::NetDeliver: return "net-deliver";
+      case EvKind::NetRetransmit: return "net-retransmit";
+      case EvKind::LockAcquire: return "lock-acquire";
+      case EvKind::LockRelease: return "lock-release";
+      case EvKind::WbEnter: return "wb-enter";
+      case EvKind::WbExit: return "wb-exit";
+      case EvKind::Commit: return "commit";
+      case EvKind::Squash: return "squash";
+      case EvKind::DedupDrop: return "dedup-drop";
+      case EvKind::ArqReissue: return "arq-reissue";
+    }
+    return "unknown";
+}
+
+const char *
+evUnitName(EvUnit u)
+{
+    switch (u) {
+      case EvUnit::Core: return "core";
+      case EvUnit::L1: return "l1";
+      case EvUnit::LLC: return "llc";
+      case EvUnit::VNet: return "vnet";
+    }
+    return "unknown";
+}
+
+FlightRecorder::FlightRecorder(StatRegistry *stats,
+                               std::size_t capacity)
+    : _ring(capacity ? capacity : 1),
+      _stats(stats, "obs"),
+      _reqToDir(_stats.histogram("reqToDir")),
+      _dirToData(_stats.histogram("dirToData")),
+      _dataToEnd(_stats.histogram("dataToEnd")),
+      _txnLatency(_stats.histogram("txnLatency")),
+      _lockdownHeld(_stats.histogram("lockdownHeld")),
+      _wbHeld(_stats.histogram("writersBlockHeld")),
+      _overwritten(_stats.counter("eventsOverwritten"))
+{}
+
+void
+FlightRecorder::record(Tick t, EvKind k, EvUnit u, int id, Addr addr,
+                       std::uint64_t arg)
+{
+    ObsEvent &e = _ring[std::size_t(_count % _ring.size())];
+    if (_count >= _ring.size())
+        ++_overwritten;
+    e.tick = t;
+    e.addr = addr;
+    e.arg = arg;
+    e.kind = k;
+    e.unit = u;
+    e.id = std::int16_t(id);
+    ++_count;
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    return std::size_t(
+        std::min<std::uint64_t>(_count, _ring.size()));
+}
+
+std::vector<ObsEvent>
+FlightRecorder::tail(std::size_t n) const
+{
+    const std::size_t have = size();
+    const std::size_t take = std::min(n, have);
+    std::vector<ObsEvent> out;
+    out.reserve(take);
+    for (std::size_t i = have - take; i < have; ++i) {
+        // Index i counts from the oldest retained event.
+        const std::uint64_t abs = _count - have + i;
+        out.push_back(_ring[std::size_t(abs % _ring.size())]);
+    }
+    return out;
+}
+
+void
+FlightRecorder::txnBegin(Tick t, int core, Addr line, char tag,
+                         bool unc)
+{
+    OpenTxn &o = _open[key(core, line, unc)];
+    o = OpenTxn{};
+    o.begin = t;
+    record(t, EvKind::TxnBegin, EvUnit::L1, core, line,
+           std::uint64_t(static_cast<unsigned char>(tag)));
+}
+
+void
+FlightRecorder::txnDirSeen(Tick t, int bank, int core, Addr line,
+                           bool unc)
+{
+    auto it = _open.find(key(core, line, unc));
+    // First serialisation wins: replays through the retry/deferred
+    // queues must not move the stamp.
+    if (it != _open.end() && it->second.dirSeen == 0)
+        it->second.dirSeen = t;
+    record(t, EvKind::TxnDirSeen, EvUnit::LLC, bank, line,
+           std::uint64_t(std::uint32_t(core)));
+}
+
+void
+FlightRecorder::txnData(Tick t, int core, Addr line, bool unc)
+{
+    auto it = _open.find(key(core, line, unc));
+    if (it != _open.end() && it->second.data == 0)
+        it->second.data = t;
+    record(t, EvKind::TxnData, EvUnit::L1, core, line);
+}
+
+void
+FlightRecorder::txnEnd(Tick t, int core, Addr line, bool unc)
+{
+    auto it = _open.find(key(core, line, unc));
+    if (it == _open.end()) {
+        // No begin on record (recovery-synthesized MSHR): the event
+        // is still logged, but carries no latency.
+        record(t, EvKind::TxnEnd, EvUnit::L1, core, line);
+        return;
+    }
+    const OpenTxn o = it->second;
+    _open.erase(it);
+    // Telescoping phase stamps: a missing phase inherits the
+    // previous one, so the three segments always sum exactly to the
+    // end-to-end latency.
+    const Tick p0 = o.begin;
+    const Tick p1 = o.dirSeen >= p0 && o.dirSeen ? o.dirSeen : p0;
+    const Tick p2 = o.data >= p1 && o.data ? o.data : p1;
+    const Tick end = t >= p2 ? t : p2;
+    _reqToDir.sample(p1 - p0);
+    _dirToData.sample(p2 - p1);
+    _dataToEnd.sample(end - p2);
+    _txnLatency.sample(end - p0);
+    record(t, EvKind::TxnEnd, EvUnit::L1, core, line, end - p0);
+}
+
+void
+FlightRecorder::txnAbort(Tick t, int core, Addr line, bool unc)
+{
+    _open.erase(key(core, line, unc));
+    record(t, EvKind::TxnAbort, EvUnit::L1, core, line);
+}
+
+void
+FlightRecorder::lockHeld(Tick t, int core, Addr line, Tick held)
+{
+    _lockdownHeld.sample(held);
+    record(t, EvKind::LockRelease, EvUnit::Core, core, line, held);
+}
+
+void
+FlightRecorder::wbExit(Tick t, int bank, Addr line, Tick held)
+{
+    _wbHeld.sample(held);
+    record(t, EvKind::WbExit, EvUnit::LLC, bank, line, held);
+}
+
+} // namespace wb

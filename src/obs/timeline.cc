@@ -1,0 +1,52 @@
+#include "obs/timeline.hh"
+
+#include "system/json_writer.hh"
+
+namespace wb
+{
+
+void
+TimelineSampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle,rob,iq,lq,sq,sb,lockdowns,mshrs,writebacks,"
+          "inFlight,vnetReqFlits,vnetFwdFlits,vnetRespFlits\n";
+    for (const TimelineSample &s : _samples) {
+        os << s.cycle << ',' << s.rob << ',' << s.iq << ',' << s.lq
+           << ',' << s.sq << ',' << s.sb << ',' << s.lockdowns
+           << ',' << s.mshrs << ',' << s.writebacks << ','
+           << s.inFlight << ',' << s.vnetFlitHops[0] << ','
+           << s.vnetFlitHops[1] << ',' << s.vnetFlitHops[2] << '\n';
+    }
+}
+
+void
+TimelineSampler::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.openObject();
+    w.field("period", std::uint64_t(_period));
+    w.openArray("samples");
+    for (const TimelineSample &s : _samples) {
+        w.openObject();
+        w.field("cycle", std::uint64_t(s.cycle));
+        w.field("rob", s.rob);
+        w.field("iq", s.iq);
+        w.field("lq", s.lq);
+        w.field("sq", s.sq);
+        w.field("sb", s.sb);
+        w.field("lockdowns", s.lockdowns);
+        w.field("mshrs", s.mshrs);
+        w.field("writebacks", s.writebacks);
+        w.field("inFlight", s.inFlight);
+        w.openArray("vnetFlitHops");
+        for (std::uint64_t v : s.vnetFlitHops)
+            w.field("", v);
+        w.closeArray();
+        w.closeObject();
+    }
+    w.closeArray();
+    w.closeObject();
+    os << '\n';
+}
+
+} // namespace wb

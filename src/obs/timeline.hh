@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Time-series gauge sampler: on a fixed cycle period the System
+ * snapshots occupancy gauges (ROB/IQ/LQ/SQ/SB, lockdowns, MSHRs,
+ * writebacks, in-flight ledger, per-vnet link traffic) into an
+ * in-memory series, written to CSV or JSON after the run.
+ *
+ * The sampler itself is passive — the System gathers the gauges (it
+ * knows the components) and push()es one row per due() cycle — so
+ * sampling cannot perturb simulated behaviour, only wall clock.
+ * Rows are a pure function of the simulation: replays of the same
+ * seed produce byte-identical series.
+ */
+
+#ifndef WB_OBS_TIMELINE_HH
+#define WB_OBS_TIMELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wb
+{
+
+/** One sampled row of machine-wide gauges (summed over cores). */
+struct TimelineSample
+{
+    Tick cycle = 0;
+    std::uint64_t rob = 0;
+    std::uint64_t iq = 0;
+    std::uint64_t lq = 0;
+    std::uint64_t sq = 0;
+    std::uint64_t sb = 0;
+    std::uint64_t lockdowns = 0;  //!< lines under active lockdown
+    std::uint64_t mshrs = 0;      //!< outstanding L1 MSHRs
+    std::uint64_t writebacks = 0; //!< writeback-buffer entries
+    std::uint64_t inFlight = 0;   //!< network ledger entries
+    /** Flit-hops injected per virtual network since the previous
+     *  sample (link-utilization proxy). */
+    std::array<std::uint64_t, 3> vnetFlitHops{};
+};
+
+class TimelineSampler
+{
+  public:
+    explicit TimelineSampler(Tick period)
+        : _period(period ? period : 1)
+    {}
+
+    Tick period() const { return _period; }
+
+    /** Is @p cycle a sample point? (multiples of the period) */
+    bool due(Tick cycle) const { return cycle % _period == 0; }
+
+    void push(const TimelineSample &s) { _samples.push_back(s); }
+
+    const std::vector<TimelineSample> &samples() const
+    {
+        return _samples;
+    }
+
+    /** One header line plus one row per sample. */
+    void writeCsv(std::ostream &os) const;
+
+    /** {"period":N,"samples":[{...},...]} */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    Tick _period;
+    std::vector<TimelineSample> _samples;
+};
+
+} // namespace wb
+
+#endif // WB_OBS_TIMELINE_HH

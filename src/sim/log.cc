@@ -34,7 +34,7 @@ Trace::printLine(Tick tick, const char *unit, const char *fmt, ...)
     va_start(ap, fmt);
     std::string body = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "%10llu: %-12s %s\n",
+    std::fprintf(sink(), "%10llu: %-12s %s\n",
                  static_cast<unsigned long long>(tick), unit,
                  body.c_str());
 }

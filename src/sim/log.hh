@@ -10,9 +10,12 @@
  * thread. Everything else is per-instance: StatRegistry and
  * EventQueue are owned by their System (and are NOT internally
  * synchronised — never share a System across threads), and Rng
- * holds its state by value with no statics. Trace lines from
- * concurrent systems may interleave, but each line is emitted with
- * a single stdio call, so lines stay intact. The same rule covers
+ * holds its state by value with no statics. The trace sink is
+ * thread-local: each worker thread (one System per thread) may
+ * redirect its own trace output with Trace::setSink() without
+ * affecting other threads; the default sink is stderr. Trace lines
+ * from concurrent systems may interleave on a shared sink, but each
+ * line is emitted with a single stdio call, so lines stay intact. The same rule covers
  * watchdog diagnostics: System::dumpStateToStderr() formats into a
  * private buffer first — never write iostream manipulators to
  * std::cerr from simulator code, they mutate the shared stream's
@@ -78,7 +81,27 @@ class Trace
 #endif
         ;
 
+    /** Redirect this thread's trace lines (nullptr = back to
+     *  stderr). Thread-local, so one campaign worker's redirect
+     *  never touches another's. The caller keeps ownership of the
+     *  FILE and must outlive any traced work on this thread. */
+    static void setSink(std::FILE *f) { sinkSlot() = f; }
+
+    /** This thread's current trace sink (never null). */
+    static std::FILE *sink()
+    {
+        std::FILE *f = sinkSlot();
+        return f ? f : stderr;
+    }
+
   private:
+    static std::FILE *&
+    sinkSlot()
+    {
+        thread_local std::FILE *s = nullptr;
+        return s;
+    }
+
     static std::atomic<unsigned> &
     mask()
     {

@@ -16,6 +16,8 @@
 namespace wb
 {
 
+class FlightRecorder;
+
 /**
  * A named simulated component bound to an event queue and a stat
  * registry. Components that do per-cycle work also implement tick();
@@ -42,13 +44,21 @@ class SimObject
     /** Per-cycle work; default: none. */
     virtual void tick() {}
 
+    /** Attach the System's flight recorder (nullptr = no events;
+     *  the default, so hooks cost one branch). */
+    void setFlightRecorder(FlightRecorder *rec) { _recorder = rec; }
+
   protected:
     StatGroup &statGroup() { return _stats; }
+
+    /** Event sink for WB_EVENT hooks (obs/flight_recorder.hh). */
+    FlightRecorder *recorder() const { return _recorder; }
 
   private:
     std::string _name;
     EventQueue *_eq;
     StatGroup _stats;
+    FlightRecorder *_recorder = nullptr;
 };
 
 } // namespace wb

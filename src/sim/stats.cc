@@ -26,11 +26,34 @@ Histogram::sample(std::uint64_t v)
     ++_buckets[bucket];
 }
 
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (_samples == 0)
+        return 0;
+    if (p <= 0.0)
+        return minValue();
+    // Rank of the target sample (1-based, nearest-rank method).
+    std::uint64_t rank = std::uint64_t(p / 100.0 * double(_samples) + 0.5);
+    rank = std::max<std::uint64_t>(1, std::min(rank, _samples));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen >= rank) {
+            // Bucket 0 holds 0; bucket i holds [2^(i-1), 2^i).
+            std::uint64_t hi = i == 0 ? 0 : (std::uint64_t(1) << i) - 1;
+            return std::min(hi, _max);
+        }
+    }
+    return _max;
+}
+
 void
 Histogram::print(std::ostream &os) const
 {
     os << name() << " samples=" << _samples << " mean=" << mean()
-       << " min=" << (_samples ? _min : 0) << " max=" << _max;
+       << " min=" << minValue() << " max=" << _max
+       << " p50=" << p50() << " p95=" << p95() << " p99=" << p99();
 }
 
 void

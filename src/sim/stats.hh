@@ -66,12 +66,25 @@ class Histogram : public StatBase
 
     std::uint64_t samples() const { return _samples; }
     std::uint64_t sum() const { return _sum; }
-    std::uint64_t minValue() const { return _min; }
+    /** Smallest sampled value; 0 when the histogram is empty. */
+    std::uint64_t minValue() const { return _samples ? _min : 0; }
     std::uint64_t maxValue() const { return _max; }
     double mean() const
     {
         return _samples ? double(_sum) / double(_samples) : 0.0;
     }
+
+    /**
+     * Approximate percentile (@p p in [0, 100]) read from the
+     * power-of-two buckets: the inclusive upper bound of the bucket
+     * holding the p-th sample, clamped to the observed maximum.
+     * Exact for 0/max, never off by more than one bucket width; 0
+     * when empty.
+     */
+    std::uint64_t percentile(double p) const;
+    std::uint64_t p50() const { return percentile(50.0); }
+    std::uint64_t p95() const { return percentile(95.0); }
+    std::uint64_t p99() const { return percentile(99.0); }
 
     void print(std::ostream &os) const override;
     void reset() override;
@@ -109,6 +122,13 @@ class StatRegistry
 
     /** Dump all stats, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /** Every registered stat, keyed (and iterated) by full name;
+     *  used by the JSON run report to emit the whole registry. */
+    const std::map<std::string, StatBase *> &all() const
+    {
+        return _stats;
+    }
 
     /** Reset every registered stat. */
     void resetAll();

@@ -135,6 +135,27 @@ writeCrashReport(std::ostream &os, System &sys,
         writeMsg(w, m);
     w.closeArray();
 
+    if (const FlightRecorder *fr = sys.flightRecorder()) {
+        // The last events before the wedge — the observability
+        // layer's black box. Bounded so reports stay readable.
+        w.openObject("flightRecorder");
+        w.field("capacity", std::uint64_t(fr->capacity()));
+        w.field("recorded", fr->recorded());
+        w.openArray("tail");
+        for (const ObsEvent &e : fr->tail(256)) {
+            w.openObject();
+            w.field("tick", std::uint64_t(e.tick));
+            w.field("kind", std::string(evKindName(e.kind)));
+            w.field("unit", std::string(evUnitName(e.unit)));
+            w.fieldSigned("id", e.id);
+            w.field("line", std::uint64_t(e.addr));
+            w.field("arg", e.arg);
+            w.closeObject();
+        }
+        w.closeArray();
+        w.closeObject();
+    }
+
     if (const TsoChecker *c = sys.checker()) {
         w.openArray("tsoViolations");
         for (const auto &v : c->violations()) {

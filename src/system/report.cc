@@ -1,7 +1,6 @@
 #include "system/report.hh"
 
-#include <sstream>
-
+#include "sim/stats.hh"
 #include "system/json_writer.hh"
 
 namespace wb
@@ -95,25 +94,25 @@ writeJsonReport(std::ostream &os, const std::string &workload,
     w.closeObject();
 
     if (stats) {
-        // Raw counters (histograms summarised by their print form).
-        std::ostringstream dump;
-        stats->dump(dump);
-        w.openObject("counters");
-        std::istringstream lines(dump.str());
-        std::string line;
-        while (std::getline(lines, line)) {
-            const auto space = line.find(' ');
-            if (space == std::string::npos)
-                continue;
-            const std::string name = line.substr(0, space);
-            const std::string value = line.substr(space + 1);
-            // Counters are plain integers; histogram lines carry
-            // key=value text and are stored as strings.
-            if (value.find_first_not_of("0123456789") ==
-                std::string::npos && !value.empty())
-                w.field(name, std::uint64_t(std::stoull(value)));
-            else
-                w.field(name, value);
+        // The whole registry, typed: counters as bare integers,
+        // histograms as summary objects with percentiles.
+        w.openObject("stats");
+        for (const auto &[name, stat] : stats->all()) {
+            if (const auto *c = dynamic_cast<const Counter *>(stat)) {
+                w.field(name, c->value());
+            } else if (const auto *h =
+                           dynamic_cast<const Histogram *>(stat)) {
+                w.openObject(name);
+                w.field("samples", h->samples());
+                w.field("sum", h->sum());
+                w.field("mean", h->mean());
+                w.field("min", h->minValue());
+                w.field("max", h->maxValue());
+                w.field("p50", h->p50());
+                w.field("p95", h->p95());
+                w.field("p99", h->p99());
+                w.closeObject();
+            }
         }
         w.closeObject();
     }

@@ -41,6 +41,13 @@ System::System(const SystemConfig &cfg, const Workload &workload)
          cfg.recovery.retransmitBaseCycles == 0))
         fatal("recovery config: cycle parameters must be >= 1");
 
+    if (cfg.obs.flightRecorder > 0)
+        _recorder = std::make_unique<FlightRecorder>(
+            &_stats, cfg.obs.flightRecorder);
+    if (cfg.obs.timelinePeriod > 0)
+        _timeline =
+            std::make_unique<TimelineSampler>(cfg.obs.timelinePeriod);
+
     if (cfg.network == NetworkKind::Mesh) {
         MeshConfig mc = cfg.mesh;
         if (mc.width * mc.height < cfg.numCores)
@@ -57,6 +64,8 @@ System::System(const SystemConfig &cfg, const Workload &workload)
         _net->setFaultInjector(_faults.get());
     if (cfg.recovery.enabled)
         _net->setRecovery(cfg.recovery);
+    if (_recorder)
+        _net->setFlightRecorder(_recorder.get());
 
     if (cfg.checker)
         _checker =
@@ -85,6 +94,11 @@ System::System(const SystemConfig &cfg, const Workload &workload)
         if (_checker) {
             _l1s.back()->setObserver(_checker.get());
             _cores.back()->setChecker(_checker.get());
+        }
+        if (_recorder) {
+            _l1s.back()->setFlightRecorder(_recorder.get());
+            _llcs.back()->setFlightRecorder(_recorder.get());
+            _cores.back()->setFlightRecorder(_recorder.get());
         }
     }
 
@@ -124,7 +138,37 @@ System::step(Tick n)
             llc->tick();
         for (auto &core : _cores)
             core->tick();
+        if (_timeline && _timeline->due(_cycle))
+            sampleTimeline();
     }
+}
+
+void
+System::sampleTimeline()
+{
+    TimelineSample s;
+    s.cycle = _cycle;
+    for (const auto &c : _cores) {
+        const auto ps = c->pipelineSnapshot();
+        s.rob += ps.rob;
+        s.iq += ps.iq;
+        s.lq += ps.lq;
+        s.sq += ps.sq;
+        s.sb += ps.sb;
+        s.lockdowns += ps.locksHeld;
+    }
+    for (const auto &l1 : _l1s) {
+        s.mshrs += l1->pendingMshrs();
+        s.writebacks += l1->writebackBufferUse();
+    }
+    s.inFlight = _net->inFlight();
+    for (int v = 0; v < 3; ++v) {
+        const std::uint64_t total = _net->vnetFlitHops(v);
+        s.vnetFlitHops[std::size_t(v)] =
+            total - _lastVnetFlits[std::size_t(v)];
+        _lastVnetFlits[std::size_t(v)] = total;
+    }
+    _timeline->push(s);
 }
 
 SimResults

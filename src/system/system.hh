@@ -25,6 +25,8 @@
 #include "isa/program.hh"
 #include "network/ideal.hh"
 #include "network/mesh.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/timeline.hh"
 #include "recovery/recovery.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
@@ -60,6 +62,11 @@ struct SystemConfig
      *  retransmission + duplicate-safe sinks); off by default so
      *  fault runs keep their fail-fast classification. */
     RecoveryConfig recovery{};
+
+    /** Observability layer (flight recorder + timeline sampler);
+     *  off by default — disabled runs take one extra null test per
+     *  hook. */
+    ObsConfig obs{};
 
     // Per-transaction watchdog (escalates warn -> dump -> verdict).
     Tick txnWarnCycles = 120'000;     //!< stderr warning + dump
@@ -203,6 +210,17 @@ class System
         return _faults.get();
     }
 
+    /** The flight recorder, nullptr unless obs.flightRecorder > 0. */
+    FlightRecorder *flightRecorder() { return _recorder.get(); }
+    const FlightRecorder *flightRecorder() const
+    {
+        return _recorder.get();
+    }
+
+    /** The timeline sampler, nullptr unless obs.timelinePeriod > 0. */
+    TimelineSampler *timeline() { return _timeline.get(); }
+    const TimelineSampler *timeline() const { return _timeline.get(); }
+
     /** Which hang detector fired ("" while none has). */
     const std::string &deadlockReason() const
     {
@@ -264,10 +282,15 @@ class System
      *  provably completed through an endpoint ARQ re-issue. */
     void reclassifyRecoveredRequests();
 
+    /** Push one row of gauges into the timeline sampler. */
+    void sampleTimeline();
+
     SystemConfig _cfg;
     EventQueue _eq;
     StatRegistry _stats;
     MainMemory _memory;
+    std::unique_ptr<FlightRecorder> _recorder;
+    std::unique_ptr<TimelineSampler> _timeline;
     std::unique_ptr<FaultInjector> _faults;
     std::unique_ptr<Network> _net;
     std::unique_ptr<TsoChecker> _checker;
@@ -282,6 +305,10 @@ class System
     bool _txnDumped = false;
     std::uint64_t _lastCommits = 0;
     Tick _lastProgress = 0;
+    /** Previous per-vnet flit-hop totals, so timeline rows carry
+     *  per-period deltas (link utilization) instead of a running
+     *  total. */
+    std::array<std::uint64_t, 3> _lastVnetFlits{};
 };
 
 /** One-line human description of a config (Table 6 style). */

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Observability-layer tests: flight-recorder ring semantics, latency
+ * breakdown telescoping, timeline sampler period math, Perfetto
+ * export determinism, crash-report integration, and the stats/log
+ * satellites (histogram percentiles, trace sink).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "obs/flight_recorder.hh"
+#include "obs/perfetto.hh"
+#include "obs/timeline.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+#include "system/crash_report.hh"
+#include "system/system.hh"
+#include "workload/litmus.hh"
+
+namespace wb
+{
+
+namespace
+{
+
+/** 4-core litmus config with observability enabled. */
+SystemConfig
+obsConfig(std::size_t ring, Tick period)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.setMode(CommitMode::OooWB);
+    cfg.obs.flightRecorder = ring;
+    cfg.obs.timelinePeriod = period;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// FlightRecorder ring semantics
+// ---------------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsAndKeepsTheNewestEvents)
+{
+    StatRegistry stats;
+    FlightRecorder fr(&stats, 8);
+    EXPECT_EQ(fr.capacity(), 8u);
+    EXPECT_EQ(fr.size(), 0u);
+    EXPECT_TRUE(fr.tail().empty());
+
+    for (Tick t = 1; t <= 20; ++t)
+        fr.record(t, EvKind::Commit, EvUnit::Core, 0, 0, t);
+
+    EXPECT_EQ(fr.recorded(), 20u);
+    EXPECT_EQ(fr.size(), 8u);
+    const auto all = fr.tail();
+    ASSERT_EQ(all.size(), 8u);
+    // The newest 8 of 20 events, oldest first: ticks 13..20.
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].tick, Tick(13 + i));
+    EXPECT_EQ(stats.counterValue("obs.eventsOverwritten"), 12u);
+
+    // A bounded tail takes from the newest end.
+    const auto last3 = fr.tail(3);
+    ASSERT_EQ(last3.size(), 3u);
+    EXPECT_EQ(last3.front().tick, Tick(18));
+    EXPECT_EQ(last3.back().tick, Tick(20));
+}
+
+TEST(FlightRecorder, OrderingSurvivesWraparound)
+{
+    StatRegistry stats;
+    FlightRecorder fr(&stats, 16);
+    // Interleave units and kinds; ticks strictly increase.
+    for (Tick t = 1; t <= 100; ++t)
+        fr.record(t, t % 2 ? EvKind::NetEnqueue : EvKind::NetDeliver,
+                  EvUnit::VNet, int(t % 3), Addr(t * 64));
+    const auto tail = fr.tail();
+    ASSERT_EQ(tail.size(), 16u);
+    for (std::size_t i = 1; i < tail.size(); ++i)
+        EXPECT_LT(tail[i - 1].tick, tail[i].tick);
+    EXPECT_EQ(tail.back().tick, Tick(100));
+}
+
+// ---------------------------------------------------------------
+// Latency breakdown telescoping
+// ---------------------------------------------------------------
+
+TEST(FlightRecorder, BreakdownSegmentsSumToEndToEndLatency)
+{
+    StatRegistry stats;
+    FlightRecorder fr(&stats, 64);
+
+    // Full four-phase transaction.
+    fr.txnBegin(100, 0, 0x1000, 'R');
+    fr.txnDirSeen(110, 2, 0, 0x1000);
+    fr.txnData(130, 0, 0x1000);
+    fr.txnEnd(145, 0, 0x1000);
+
+    // Missing dirSeen (e.g. stamp lost to a dropped request): the
+    // segment collapses to zero, never goes negative.
+    fr.txnBegin(200, 1, 0x2000, 'W');
+    fr.txnData(230, 1, 0x2000);
+    fr.txnEnd(260, 1, 0x2000);
+
+    // GetU bypass on the same (core, line) as an open write must not
+    // clobber the write's stamps.
+    fr.txnBegin(300, 2, 0x3000, 'W');
+    fr.txnBegin(305, 2, 0x3000, 'U', true);
+    fr.txnEnd(315, 2, 0x3000, true);
+    fr.txnData(320, 2, 0x3000);
+    fr.txnEnd(330, 2, 0x3000);
+
+    EXPECT_EQ(fr.txnLatency().samples(), 4u);
+    EXPECT_EQ(fr.reqToDir().samples(), 4u);
+    // Telescoping invariant: per construction the three segment sums
+    // equal the end-to-end sum exactly.
+    EXPECT_EQ(fr.reqToDir().sum() + fr.dirToData().sum() +
+                  fr.dataToEnd().sum(),
+              fr.txnLatency().sum());
+    EXPECT_EQ(fr.txnLatency().sum(), 45u + 60u + 10u + 30u);
+}
+
+TEST(FlightRecorder, BreakdownTelescopesAcrossARealRun)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 200);
+    System sys(obsConfig(1 << 14, 0), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    const FlightRecorder *fr = sys.flightRecorder();
+    ASSERT_NE(fr, nullptr);
+    EXPECT_GT(fr->txnLatency().samples(), 0u);
+    EXPECT_EQ(fr->reqToDir().sum() + fr->dirToData().sum() +
+                  fr->dataToEnd().sum(),
+              fr->txnLatency().sum());
+    // The histograms live in the System's registry under obs.*.
+    EXPECT_NE(sys.stats().find("obs.txnLatency"), nullptr);
+    EXPECT_NE(sys.stats().find("obs.lockdownHeld"), nullptr);
+}
+
+TEST(FlightRecorder, AbortDropsTheOpenTransaction)
+{
+    StatRegistry stats;
+    FlightRecorder fr(&stats, 8);
+    fr.txnBegin(10, 0, 0x40, 'R');
+    fr.txnAbort(20, 0, 0x40);
+    fr.txnEnd(30, 0, 0x40); // no open txn left: event only
+    EXPECT_EQ(fr.txnLatency().samples(), 0u);
+    EXPECT_EQ(fr.tail().back().kind, EvKind::TxnEnd);
+}
+
+// ---------------------------------------------------------------
+// Timeline sampler
+// ---------------------------------------------------------------
+
+TEST(Timeline, PeriodMathAndRowCount)
+{
+    TimelineSampler tl(100);
+    EXPECT_TRUE(tl.due(100));
+    EXPECT_TRUE(tl.due(200));
+    EXPECT_FALSE(tl.due(1));
+    EXPECT_FALSE(tl.due(150));
+
+    Workload wl = makeLitmus(LitmusKind::Table1, 50);
+    System sys(obsConfig(0, 100), wl);
+    sys.step(1000);
+    ASSERT_NE(sys.timeline(), nullptr);
+    // Cycles 100, 200, ..., 1000: exactly ten samples.
+    EXPECT_EQ(sys.timeline()->samples().size(), 10u);
+    EXPECT_EQ(sys.timeline()->samples().front().cycle, Tick(100));
+    EXPECT_EQ(sys.timeline()->samples().back().cycle, Tick(1000));
+}
+
+TEST(Timeline, CsvAndJsonCarryEveryGaugeColumn)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 100);
+    System sys(obsConfig(0, 64), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    const TimelineSampler *tl = sys.timeline();
+    ASSERT_NE(tl, nullptr);
+    ASSERT_FALSE(tl->samples().empty());
+
+    std::ostringstream csv;
+    tl->writeCsv(csv);
+    const std::string c = csv.str();
+    EXPECT_EQ(c.compare(0, 5, "cycle"), 0);
+    EXPECT_NE(c.find("lockdowns"), std::string::npos);
+    EXPECT_NE(c.find("vnetRespFlits"), std::string::npos);
+    // Header plus one line per sample.
+    EXPECT_EQ(std::size_t(std::count(c.begin(), c.end(), '\n')),
+              tl->samples().size() + 1);
+
+    std::ostringstream json;
+    tl->writeJson(json);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"period\":64"), std::string::npos);
+    EXPECT_NE(j.find("\"vnetFlitHops\":["), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+}
+
+// ---------------------------------------------------------------
+// Perfetto export
+// ---------------------------------------------------------------
+
+TEST(Perfetto, TraceIsStructurallyValidJson)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 100);
+    System sys(obsConfig(1 << 14, 0), wl);
+    SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+
+    std::ostringstream os;
+    writePerfettoTrace(os, *sys.flightRecorder(), 4, 4);
+    const std::string t = os.str();
+    EXPECT_EQ(t.compare(0, 16, "{\"traceEvents\":["), 0);
+    EXPECT_NE(t.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(t.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_EQ(std::count(t.begin(), t.end(), '{'),
+              std::count(t.begin(), t.end(), '}'));
+    EXPECT_EQ(std::count(t.begin(), t.end(), '['),
+              std::count(t.begin(), t.end(), ']'));
+}
+
+TEST(Perfetto, ReplaysAreBitIdentical)
+{
+    auto render = []() {
+        Workload wl = makeLitmus(LitmusKind::Table1, 150);
+        System sys(obsConfig(1 << 14, 0), wl);
+        SimResults r = sys.run();
+        EXPECT_TRUE(r.completed);
+        std::ostringstream os;
+        writePerfettoTrace(os, *sys.flightRecorder(), 4, 4);
+        return os.str();
+    };
+    const std::string a = render();
+    const std::string b = render();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------
+// Crash-report integration
+// ---------------------------------------------------------------
+
+TEST(CrashReport, CarriesTheFlightRecorderTail)
+{
+    // Drop the first coherence message: the per-transaction watchdog
+    // escalates to a deadlock verdict and the crash report must end
+    // with the recorder's black-box tail.
+    Workload wl = makeLitmus(LitmusKind::Table1, 300);
+    SystemConfig cfg = obsConfig(4096, 0);
+    cfg.txnWarnCycles = 5'000;
+    cfg.txnDeadlockCycles = 15'000;
+    cfg.watchdogPollCycles = 256;
+    cfg.maxCycles = 2'000'000;
+    std::string err;
+    ASSERT_TRUE(parseFaultSpec("seed=1,drop=1.0:1", cfg.faults, err))
+        << err;
+    System sys(cfg, wl);
+    const ClassifiedRun cr = runClassified(sys);
+    ASSERT_EQ(cr.outcome, RunOutcome::Deadlock);
+
+    std::ostringstream os;
+    writeCrashReport(os, sys, cr.verdict, cr.detail);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"flightRecorder\":{"), std::string::npos);
+    EXPECT_NE(j.find("\"tail\":["), std::string::npos);
+    // The surviving cores' final retirements are the last activity
+    // before the machine wedges, so they must be in the tail.
+    EXPECT_NE(j.find("\"kind\":\"commit\""), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(CrashReport, OmitsRecorderWhenDisabled)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 20);
+    SystemConfig cfg = obsConfig(0, 0);
+    System sys(cfg, wl);
+    sys.run();
+    std::ostringstream os;
+    writeCrashReport(os, sys, "deadlock", "test");
+    EXPECT_EQ(os.str().find("\"flightRecorder\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Histogram percentiles (stats satellite)
+// ---------------------------------------------------------------
+
+TEST(HistogramPercentiles, EmptyHistogramIsAllZero)
+{
+    Histogram h("t");
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(HistogramPercentiles, BucketUpperBoundsClampedToMax)
+{
+    Histogram h("t");
+    for (int i = 0; i < 99; ++i)
+        h.sample(10); // bucket [8,16) -> upper bound 15
+    h.sample(1000);   // bucket [512,1024) -> clamped to max
+    EXPECT_EQ(h.p50(), 15u);
+    EXPECT_EQ(h.p95(), 15u);
+    EXPECT_EQ(h.percentile(100), 1000u);
+    EXPECT_EQ(h.percentile(0), 10u);
+    EXPECT_EQ(h.minValue(), 10u);
+
+    Histogram z("z");
+    z.sample(0);
+    z.sample(0);
+    EXPECT_EQ(z.p50(), 0u);
+    EXPECT_EQ(z.maxValue(), 0u);
+
+    // print() now carries the percentile summary.
+    std::ostringstream os;
+    h.print(os);
+    EXPECT_NE(os.str().find("p95="), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Trace sink (log satellite)
+// ---------------------------------------------------------------
+
+TEST(TraceSink, RedirectsThisThreadsTraceLines)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    Trace::setSink(tmp);
+    EXPECT_EQ(Trace::sink(), tmp);
+    Trace::printLine(42, "unit", "hello %d", 7);
+    Trace::setSink(nullptr);
+    EXPECT_EQ(Trace::sink(), stderr);
+
+    std::fflush(tmp);
+    std::rewind(tmp);
+    char buf[128] = {0};
+    ASSERT_NE(std::fgets(buf, sizeof(buf), tmp), nullptr);
+    const std::string line = buf;
+    EXPECT_NE(line.find("42"), std::string::npos);
+    EXPECT_NE(line.find("unit"), std::string::npos);
+    EXPECT_NE(line.find("hello 7"), std::string::npos);
+    std::fclose(tmp);
+}
+
+} // namespace wb

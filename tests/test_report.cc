@@ -41,14 +41,18 @@ TEST(Report, RunReportContainsKeyFields)
               std::string::npos);
     EXPECT_NE(j.find("\"completed\":true"), std::string::npos);
     EXPECT_NE(j.find("\"tsoViolations\":0"), std::string::npos);
-    EXPECT_NE(j.find("\"counters\":{"), std::string::npos);
+    EXPECT_NE(j.find("\"stats\":{"), std::string::npos);
     EXPECT_NE(j.find("core.0.commits"), std::string::npos);
+    // Histograms are typed objects with percentile fields, not
+    // stringified print() lines.
+    EXPECT_NE(j.find("\"p95\":"), std::string::npos);
+    EXPECT_EQ(j.find("samples="), std::string::npos);
     // Balanced braces (cheap structural sanity).
     EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
               std::count(j.begin(), j.end(), '}'));
 }
 
-TEST(Report, OmitsCountersWhenNotRequested)
+TEST(Report, OmitsStatsWhenNotRequested)
 {
     Workload wl = makeLitmus(LitmusKind::Table1, 20);
     SystemConfig cfg;
@@ -60,7 +64,7 @@ TEST(Report, OmitsCountersWhenNotRequested)
     SimResults r = sys.run();
     std::ostringstream os;
     writeJsonReport(os, wl.name, cfg, r, nullptr);
-    EXPECT_EQ(os.str().find("\"counters\""), std::string::npos);
+    EXPECT_EQ(os.str().find("\"stats\""), std::string::npos);
 }
 
 } // namespace wb

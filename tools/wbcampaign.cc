@@ -50,7 +50,10 @@ usage()
         "(default: one per hardware thread)\n"
         "  --seeds N         override the spec's seed count\n"
         "  --quick           shorthand for --seeds 4\n"
-        "  --out DIR         write per-job crash reports here\n"
+        "  --out DIR         write per-job crash reports (and,\n"
+        "                    with the manifest's flight-recorder /\n"
+        "                    timeline-period keys, per-job traces\n"
+        "                    and timelines) here\n"
         "  --json FILE       aggregate JSON report (- for stdout)\n"
         "  --csv FILE        per-job CSV (- for stdout)\n"
         "  --check-faults    assert the fault-campaign invariants\n"

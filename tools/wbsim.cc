@@ -27,6 +27,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/perfetto.hh"
+#include "obs/timeline.hh"
 #include "system/crash_report.hh"
 #include "system/report.hh"
 #include "system/system.hh"
@@ -64,7 +66,19 @@ usage()
         "  --faults SPEC     fault campaign, e.g.\n"
         "                    \"seed=7,delay=0.01:200,drop=0.001:2\"\n"
         "  --crash-dump FILE write a JSON crash report on any\n"
-        "                    abnormal outcome\n"
+        "                    abnormal outcome (includes the flight-\n"
+        "                    recorder tail when enabled)\n"
+        "  --flight-recorder[=N]\n"
+        "                    record the last N structured events\n"
+        "                    (default 65536); adds obs.* latency\n"
+        "                    histograms to stats\n"
+        "  --trace-out FILE  write a Chrome/Perfetto trace-event\n"
+        "                    JSON after the run (implies\n"
+        "                    --flight-recorder)\n"
+        "  --timeline FILE,PERIOD\n"
+        "                    sample occupancy gauges every PERIOD\n"
+        "                    cycles into FILE (.json => JSON,\n"
+        "                    else CSV)\n"
         "  --dump-stats      print every counter after the run\n"
         "  --json FILE       write a JSON report (- for stdout)\n"
         "  --list            list benchmark profiles and exit\n"
@@ -178,6 +192,10 @@ main(int argc, char **argv)
     std::string json_path;
     std::string faults_spec;
     std::string crash_dump;
+    std::size_t flight_recorder = 0;
+    std::string trace_out;
+    std::string timeline_path;
+    Tick timeline_period = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -230,7 +248,41 @@ main(int argc, char **argv)
             crash_dump = next();
         else if (a == "--dump-stats")
             dump_stats = true;
-        else if (a == "--json")
+        else if (a == "--flight-recorder")
+            flight_recorder = 65536;
+        else if (a.rfind("--flight-recorder=", 0) == 0) {
+            flight_recorder = std::strtoull(
+                a.c_str() + std::strlen("--flight-recorder="),
+                nullptr, 0);
+            if (flight_recorder == 0) {
+                std::fprintf(stderr,
+                             "--flight-recorder needs N >= 1\n");
+                return 64;
+            }
+        } else if (a == "--trace-out")
+            trace_out = next();
+        else if (a == "--timeline" ||
+                 a.rfind("--timeline=", 0) == 0) {
+            const std::string v =
+                a == "--timeline"
+                    ? next()
+                    : a.substr(std::strlen("--timeline="));
+            const auto comma = v.rfind(',');
+            if (comma == std::string::npos || comma == 0) {
+                std::fprintf(stderr,
+                             "--timeline needs FILE,PERIOD\n");
+                return 64;
+            }
+            timeline_path = v.substr(0, comma);
+            timeline_period =
+                Tick(std::strtoull(v.c_str() + comma + 1,
+                                   nullptr, 0));
+            if (timeline_period == 0) {
+                std::fprintf(stderr,
+                             "--timeline PERIOD must be >= 1\n");
+                return 64;
+            }
+        } else if (a == "--json")
             json_path = next();
         else if (a == "--list") {
             std::printf("benchmark profiles:\n");
@@ -289,6 +341,10 @@ main(int argc, char **argv)
             return 64;
         }
     }
+    if (!trace_out.empty() && flight_recorder == 0)
+        flight_recorder = 65536;
+    cfg.obs.flightRecorder = flight_recorder;
+    cfg.obs.timelinePeriod = timeline_period;
 
     std::printf("workload: %s\nconfig:   %s\n", wl.name.c_str(),
                 describeConfig(cfg).c_str());
@@ -388,6 +444,38 @@ main(int argc, char **argv)
                              json_path.c_str());
             else
                 writeJsonReport(jf, wl.name, cfg, r, &sys.stats());
+        }
+    }
+    if (!trace_out.empty()) {
+        std::ofstream tf(trace_out);
+        if (!tf) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         trace_out.c_str());
+        } else {
+            writePerfettoTrace(tf, *sys.flightRecorder(),
+                               cfg.numCores, cfg.numCores);
+            std::printf("trace written to %s (open in "
+                        "ui.perfetto.dev or chrome://tracing)\n",
+                        trace_out.c_str());
+        }
+    }
+    if (!timeline_path.empty()) {
+        std::ofstream tl(timeline_path);
+        if (!tl) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         timeline_path.c_str());
+        } else {
+            const bool json =
+                timeline_path.size() >= 5 &&
+                timeline_path.compare(timeline_path.size() - 5, 5,
+                                      ".json") == 0;
+            if (json)
+                sys.timeline()->writeJson(tl);
+            else
+                sys.timeline()->writeCsv(tl);
+            std::printf("timeline written to %s (%zu samples)\n",
+                        timeline_path.c_str(),
+                        sys.timeline()->samples().size());
         }
     }
     if (!crash_dump.empty() && cr.outcome != RunOutcome::Ok) {
