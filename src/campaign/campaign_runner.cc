@@ -224,6 +224,9 @@ CampaignRunner::run()
     // Progress reporter: live \r line on a tty, sparse plain lines
     // otherwise (CI logs). Runs beside the workers and never touches
     // job results, so it cannot perturb the deterministic output.
+    // All writes go through StderrGate, the process-wide guarded
+    // writer, so a worker's watchdog dump cannot splice into the
+    // middle of the status line (and vice versa).
     std::FILE *pstream =
         _opts.progressStream ? _opts.progressStream : stderr;
     std::thread reporter;
@@ -242,24 +245,24 @@ CampaignRunner::run()
                                                            : 2000));
                 const CampaignSummary s = agg.summary();
                 if (tty) {
-                    std::fprintf(
-                        pstream, "\r%-78s",
+                    StderrGate::writeStatus(
+                        pstream,
                         progressLine(s, busy.load(), nworkers,
                                      elapsed())
                             .c_str());
-                    std::fflush(pstream);
                 } else if (s.done >= last_done + step ||
                            s.done == s.total) {
                     last_done = s.done;
-                    std::fprintf(
-                        pstream, "%s\n",
-                        progressLine(s, busy.load(), nworkers,
-                                     elapsed())
+                    StderrGate::writeBlock(
+                        pstream,
+                        (progressLine(s, busy.load(), nworkers,
+                                      elapsed()) +
+                         "\n")
                             .c_str());
                 }
             }
             if (tty)
-                std::fprintf(pstream, "\r%-78s\r", "");
+                StderrGate::clearStatus(pstream);
         });
     }
 

@@ -189,9 +189,28 @@ LLCBank::transientInfos(Tick now_tick) const
 Tick
 LLCBank::oldestTransactionAge(Tick now_tick) const
 {
+    // Sweep the candidate set instead of the whole directory: every
+    // transition into a transient state calls noteBusy(), so the
+    // candidates are a superset of the transient entries and stable
+    // lines can be dropped as they are encountered. This poll runs
+    // every watchdogPollCycles; a full-array scan here was one of
+    // the hottest paths in the simulator.
     Tick oldest = 0;
-    for (const TxnInfo &i : transientInfos(now_tick))
-        oldest = std::max(oldest, i.age);
+    for (auto it = _busyLines.begin(); it != _busyLines.end();) {
+        const DirEntry *e = lookup(*it);
+        const bool stable = !e || e->state == DirState::I ||
+                            e->state == DirState::S ||
+                            e->state == DirState::EM;
+        if (stable) {
+            // Re-inserted by the next transition if it goes busy
+            // again (a stable entry contributes age 0 regardless).
+            it = _busyLines.erase(it);
+            continue;
+        }
+        if (now_tick > e->busySince)
+            oldest = std::max(oldest, now_tick - e->busySince);
+        ++it;
+    }
     return oldest;
 }
 
@@ -334,6 +353,7 @@ LLCBank::grantRead(DirEntry &e, CohMsg &m, bool exclusive)
 
     e.state = DirState::BusyRd;
     e.busySince = now();
+    noteBusy(m.line);
     e.reqor = m.src;
     e.grantExclusive = exclusive;
     e.copyDataPending = false;
@@ -368,6 +388,7 @@ LLCBank::handleGetS(DirEntry &e, CohMsg &m)
         e.txnId = newTxn();
         e.state = DirState::BusyRd;
         e.busySince = now();
+        noteBusy(m.line);
         e.reqor = m.src;
         e.grantExclusive = false;
         e.copyDataPending = true;
@@ -388,8 +409,7 @@ LLCBank::handleGetS(DirEntry &e, CohMsg &m)
         return;
       default:
         ++_deferrals;
-        e.deferred.push_back(
-            std::shared_ptr<NetMsg>(new CohMsg(m)));
+        e.deferred.push_back(cloneCohMsg(m));
         return;
     }
 }
@@ -420,8 +440,7 @@ LLCBank::handleGetU(DirEntry &e, CohMsg &m)
       }
       default:
         ++_deferrals;
-        e.deferred.push_back(
-            std::shared_ptr<NetMsg>(new CohMsg(m)));
+        e.deferred.push_back(cloneCohMsg(m));
         return;
     }
 }
@@ -491,6 +510,7 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
         send(std::move(rsp), _cfg.llcHitLatency);
         e.state = DirState::BusyWr;
         e.busySince = now();
+        noteBusy(m.line);
         e.reqor = writer;
         e.hintSent = false;
         return;
@@ -526,6 +546,7 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
         }
         e.state = DirState::BusyWr;
         e.busySince = now();
+        noteBusy(m.line);
         e.reqor = writer;
         e.hintSent = false;
         return;
@@ -552,6 +573,7 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
         send(std::move(fwd), _cfg.llcHitLatency);
         e.state = DirState::BusyWr;
         e.busySince = now();
+        noteBusy(m.line);
         e.reqor = writer;
         e.hintSent = false;
         return;
@@ -564,8 +586,7 @@ LLCBank::handleWrite(DirEntry &e, CohMsg &m)
         [[fallthrough]];
       default:
         ++_deferrals;
-        e.deferred.push_back(
-            std::shared_ptr<NetMsg>(new CohMsg(m)));
+        e.deferred.push_back(cloneCohMsg(m));
         return;
     }
 }
@@ -607,8 +628,7 @@ LLCBank::handlePut(DirEntry &e, CohMsg &m)
             // the Put afterwards (the sharer still answers the
             // invalidation from its LQ state).
             ++_deferrals;
-            e.deferred.push_back(
-                std::shared_ptr<NetMsg>(new CohMsg(m)));
+            e.deferred.push_back(cloneCohMsg(m));
             return;
         }
     }
@@ -641,8 +661,7 @@ LLCBank::handlePut(DirEntry &e, CohMsg &m)
         // owner answers forwards from its writeback buffer and this
         // Put resolves (usually to WBStale) afterwards.
         ++_deferrals;
-        e.deferred.push_back(
-            std::shared_ptr<NetMsg>(new CohMsg(m)));
+        e.deferred.push_back(cloneCohMsg(m));
         return;
     }
 }
@@ -657,6 +676,7 @@ LLCBank::enterWritersBlock(DirEntry &e, Addr line, DirState st)
     assert(st == DirState::WB || st == DirState::WBEvict);
     e.state = st;
     e.busySince = now();
+    noteBusy(line);
     ++_wbEntries;
     WB_EVENT(recorder(), now(), EvKind::WbEnter, EvUnit::LLC, _id,
              line);
@@ -975,6 +995,7 @@ LLCBank::startRecall(DirEntry &e, Addr line)
     assert(e.recallPending > 0);
     e.state = DirState::Recalling;
     e.busySince = now();
+    noteBusy(line);
     for (int c = 0; c < 32; ++c) {
         if ((targets >> c) & 1) {
             auto rc = make(CohType::Recall, line, c);
@@ -1016,6 +1037,7 @@ LLCBank::fetchFromMemory(DirEntry &e, Addr line)
 {
     e.state = DirState::BusyMem;
     e.busySince = now();
+    noteBusy(line);
     ++_memFetches;
     eventQueue().scheduleIn(
         _cfg.memLatency + _cfg.llcHitLatency, [this, line]() {

@@ -34,6 +34,7 @@
 #include <deque>
 #include <ostream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "coherence/config.hh"
@@ -190,6 +191,16 @@ class LLCBank : public SimObject
 
     CacheArray<DirEntry> _array;
     std::unordered_map<Addr, DirEntry> _evbuf;
+
+    /** Transaction-age candidates: every line that entered a
+     *  transient state since the watchdog last saw it stable.
+     *  Lazily swept by oldestTransactionAge(), which keeps the
+     *  per-poll cost O(active transactions) instead of a full
+     *  directory scan. Mutable: the sweep is logically const. */
+    mutable std::unordered_set<Addr> _busyLines;
+
+    /** Record a transition into a transient directory state. */
+    void noteBusy(Addr line) { _busyLines.insert(line); }
     std::deque<MsgPtr> _retryQueue;
     std::uint64_t _txnCounter = 0;
     RecoveryConfig _recovery{};

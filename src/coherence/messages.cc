@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "sim/arena.hh"
+
 namespace wb
 {
 
@@ -87,7 +89,10 @@ cohVNet(CohType t)
 MsgPtr
 makeCohMsg(CohType t, Addr line, int src, int dst)
 {
-    auto msg = std::make_shared<CohMsg>();
+    // allocate_shared + arena: control block and message share one
+    // pooled node, so a coherence hop costs no global allocation.
+    auto msg =
+        std::allocate_shared<CohMsg>(ArenaAllocator<CohMsg>{});
     msg->type = t;
     msg->line = line;
     msg->src = src;
@@ -95,6 +100,13 @@ makeCohMsg(CohType t, Addr line, int src, int dst)
     msg->vnet = cohVNet(t);
     msg->flits = ctrlFlits;
     return msg;
+}
+
+MsgPtr
+cloneCohMsg(const CohMsg &m)
+{
+    return std::allocate_shared<CohMsg>(ArenaAllocator<CohMsg>{},
+                                        m);
 }
 
 } // namespace wb

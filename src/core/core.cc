@@ -52,8 +52,7 @@ Core::done() const
 Core::RobEntry *
 Core::robFind(InstSeqNum seq)
 {
-    auto it = _rob.find(seq);
-    return it == _rob.end() ? nullptr : &it->second;
+    return _rob.find(seq);
 }
 
 bool
@@ -78,7 +77,7 @@ Core::coherenceLockdownQuery(Addr line) const
 InstSeqNum
 Core::oldestPendingAtomic() const
 {
-    for (const auto &[seq, lq] : _lq)
+    for (auto [seq, lq] : _lq)
         if (lq.isAtomic && !lq.performed)
             return seq;
     return invalidSeqNum;
@@ -308,22 +307,22 @@ Core::execute(InstSeqNum seq)
         e->addr = wordOf(e->srcVal[0] + std::uint64_t(e->in.imm));
         e->addrReady = true;
         if (isLoad(op) || isAtomic(op)) {
-            auto it = _lq.find(seq);
-            assert(it != _lq.end());
-            it->second.addr = e->addr;
-            it->second.pc = e->pc;
+            LqEntry *lq = _lq.find(seq);
+            assert(lq);
+            lq->addr = e->addr;
+            lq->pc = e->pc;
         }
         if (isStore(op) || isAtomic(op)) {
-            auto it = _sq.find(seq);
-            assert(it != _sq.end());
-            it->second.addr = e->addr;
-            it->second.addrReady = true;
+            SqEntry *sq = _sq.find(seq);
+            assert(sq);
+            sq->addr = e->addr;
+            sq->addrReady = true;
             if (op == Opcode::St)
                 e->executed = true;
             // Memory-dependence violation: a younger load already
             // performed on this word without seeing this store.
             const Addr w = e->addr;
-            for (auto lit = _lq.upper_bound(seq); lit != _lq.end();
+            for (auto lit = _lq.upperBound(seq); lit != _lq.end();
                  ++lit) {
                 if (lit->second.performed &&
                     lit->second.addr == w) {
@@ -363,7 +362,7 @@ void
 Core::memIssue()
 {
     int ports = _cfg.cachePorts;
-    for (auto &[seq, lq] : _lq) {
+    for (auto [seq, lq] : _lq) {
         if (ports <= 0)
             break;
         if (lq.isAtomic || lq.performed || lq.issued ||
@@ -375,12 +374,12 @@ Core::memIssue()
             continue;
 
         // Store-to-load forwarding / memory-dependence stall: find
-        // the youngest older store to the same word.
+        // the youngest older store to the same word (descending
+        // walk from the first SQ entry at or past this load).
         bool stalled = false;
         bool forwarded = false;
-        for (auto sit = std::make_reverse_iterator(
-                 _sq.lower_bound(seq));
-             sit != _sq.rend(); ++sit) {
+        for (auto sit = _sq.lowerBound(seq); sit != _sq.begin();) {
+            --sit;
             const SqEntry &sq = sit->second;
             if (!sq.addrReady || sq.addr != lq.addr)
                 continue;
@@ -498,33 +497,33 @@ void
 Core::loadResponse(InstSeqNum seq, Addr addr, std::uint64_t value,
                    Version ver, LoadSource src)
 {
-    auto it = _lq.find(seq);
-    if (it == _lq.end() || it->second.performed)
+    LqEntry *lq = _lq.find(seq);
+    if (!lq || lq->performed)
         return; // squashed or duplicate
-    if (it->second.addr != wordOf(addr))
+    if (lq->addr != wordOf(addr))
         return; // stale response from a squashed incarnation
     if (src == LoadSource::TearOff)
         ++_tearoffBinds;
-    bindLoad(seq, it->second, value, ver, false);
+    bindLoad(seq, *lq, value, ver, false);
 }
 
 void
 Core::loadMustRetry(InstSeqNum seq, Addr addr)
 {
-    auto it = _lq.find(seq);
-    if (it == _lq.end() || it->second.performed)
+    LqEntry *lq = _lq.find(seq);
+    if (!lq || lq->performed)
         return;
-    if (it->second.addr != wordOf(addr))
+    if (lq->addr != wordOf(addr))
         return;
-    it->second.mustRetry = true;
-    it->second.issued = false;
+    lq->mustRetry = true;
+    lq->issued = false;
 }
 
 void
 Core::recomputeFrontier()
 {
     InstSeqNum f = invalidSeqNum;
-    for (const auto &[seq, lq] : _lq) {
+    for (auto [seq, lq] : _lq) {
         if (!lq.performed) {
             f = seq;
             break;
@@ -547,10 +546,14 @@ Core::recomputeFrontier()
                                     pc.forwarded);
         if (pc.lockdownLine != invalidAddr)
             releaseLockdown(pc.lockdownLine);
-        auto lqit = _lq.find(it->first);
-        if (lqit != _lq.end())
-            lqit->second.lockdown = false;
-        _ldt.erase(it->first);
+        if (LqEntry *lq = _lq.find(it->first))
+            lq->lockdown = false;
+        for (auto lit = _ldt.begin(); lit != _ldt.end(); ++lit) {
+            if (lit->first == it->first) {
+                _ldt.erase(lit);
+                break;
+            }
+        }
         _pendingChecks.erase(it);
     }
 }
@@ -581,10 +584,10 @@ Core::driveSoS()
 {
     if (_frontier == invalidSeqNum)
         return;
-    auto it = _lq.find(_frontier);
-    if (it == _lq.end())
+    LqEntry *lqp = _lq.find(_frontier);
+    if (!lqp)
         return;
-    LqEntry &lq = it->second;
+    LqEntry &lq = *lqp;
     if (lq.isAtomic || lq.performed || lq.addr == invalidAddr)
         return;
     if (lq.mustRetry) {
@@ -635,7 +638,8 @@ Core::driveFence()
 {
     if (_fences.empty() || _rob.empty())
         return;
-    auto &[seq, e] = *_rob.begin();
+    const InstSeqNum seq = _rob.frontSeq();
+    RobEntry &e = _rob.front();
     if (e.in.op != Opcode::Fence || e.executed)
         return;
     // mfence semantics: all earlier stores globally visible before
@@ -651,7 +655,8 @@ Core::driveAtomic()
 {
     if (_rob.empty())
         return;
-    auto &[seq, e] = *_rob.begin();
+    const InstSeqNum seq = _rob.frontSeq();
+    RobEntry &e = _rob.front();
     if (!isAtomic(e.in.op) || e.executed)
         return;
     if (!e.addrReady || !e.srcReady[1] || !_sb.empty())
@@ -671,9 +676,9 @@ Core::driveAtomic()
     e.result = old;
     e.executed = true;
     wakeConsumers(e);
-    auto it = _lq.find(seq);
-    assert(it != _lq.end());
-    bindLoad(seq, it->second, old, old_ver, false);
+    LqEntry *lq = _lq.find(seq);
+    assert(lq);
+    bindLoad(seq, *lq, old, old_ver, false);
 }
 
 // ---------------------------------------------------------------
@@ -740,9 +745,8 @@ Core::commit()
             } else {
                 // Performed but M-speculative, lockdown-capable (or
                 // deliberately unsafe) core.
-                auto lqit = _lq.find(it->first);
-                const bool has_lockdown =
-                    lqit != _lq.end() && lqit->second.lockdown;
+                const LqEntry *lq = _lq.find(it->first);
+                const bool has_lockdown = lq && lq->lockdown;
                 switch (_cfg.commitMode) {
                   case CommitMode::OooWB:
                     if (!has_lockdown) {
@@ -807,7 +811,8 @@ Core::commit()
         if (!at_head)
             ++_oooCommits;
         if (export_ldt) {
-            _ldt.emplace(it->first, LdtEntry{lineOf(e.addr), false});
+            _ldt.push_back(
+                {it->first, LdtEntry{lineOf(e.addr), false}});
             ++_ldtExports;
         }
         retireEntry(e);
@@ -854,20 +859,21 @@ Core::squashFrom(InstSeqNum first_bad, int new_pc, Counter &reason)
              "squash from=%llu newpc=%d",
              static_cast<unsigned long long>(first_bad), new_pc);
     std::vector<InstSeqNum> gone;
-    for (auto it = _rob.lower_bound(first_bad); it != _rob.end();
+    for (auto it = _rob.lowerBound(first_bad); it != _rob.end();
          ++it)
         gone.push_back(it->first);
 
     for (auto rit = gone.rbegin(); rit != gone.rend(); ++rit) {
         const InstSeqNum seq = *rit;
-        RobEntry &e = _rob.at(seq);
+        RobEntry *ep = _rob.find(seq);
+        assert(ep);
+        RobEntry &e = *ep;
         if (writesReg(e.in.op))
             _regMap[e.in.dst] = e.prevWriter;
-        auto lqit = _lq.find(seq);
-        if (lqit != _lq.end()) {
-            if (lqit->second.lockdown)
-                releaseLockdown(lineOf(lqit->second.addr));
-            _lq.erase(lqit);
+        if (const LqEntry *lq = _lq.find(seq)) {
+            if (lq->lockdown)
+                releaseLockdown(lineOf(lq->addr));
+            _lq.erase(seq);
         }
         _pendingChecks.erase(seq);
         _sq.erase(seq);
@@ -903,7 +909,7 @@ Core::dumpState(std::ostream &os) const
        << " ldt=" << _ldt.size() << " frontier=" << _frontier
        << "\n";
     int n = 0;
-    for (const auto &[seq, e] : _rob) {
+    for (auto [seq, e] : _rob) {
         if (++n > 6)
             break;
         os << "  rob seq=" << seq << " pc=" << e.pc << " "
@@ -911,7 +917,7 @@ Core::dumpState(std::ostream &os) const
            << " exec=" << e.executed << " addrRdy=" << e.addrReady
            << " src=" << e.srcReady[0] << e.srcReady[1] << "\n";
     }
-    for (const auto &[seq, lq] : _lq) {
+    for (auto [seq, lq] : _lq) {
         os << "  lq seq=" << seq << " addr=" << std::hex << lq.addr
            << std::dec << " iss=" << lq.issued
            << " perf=" << lq.performed << " retry=" << lq.mustRetry
@@ -939,8 +945,7 @@ Core::pipelineSnapshot() const
     s.sq = _sq.size();
     s.sb = _sb.size();
     s.ldt = _ldt.size();
-    s.robHead =
-        _rob.empty() ? invalidSeqNum : _rob.begin()->first;
+    s.robHead = _rob.frontSeq();
     s.frontier = _frontier;
     for (const auto &[line, li] : _locks) {
         if (li.count > 0)
@@ -969,7 +974,7 @@ Core::coherenceInvalidation(Addr line)
         }
         // Baseline squash-and-re-execute (Figure 2.A): squash the
         // oldest matching M-speculative load and everything younger.
-        for (auto &[seq, lq] : _lq) {
+        for (auto [seq, lq] : _lq) {
             if (lq.performed && !lq.forwarded &&
                 lq.addr != invalidAddr &&
                 lineOf(lq.addr) == line && seq > _frontier) {
@@ -984,7 +989,7 @@ Core::coherenceInvalidation(Addr line)
     // not lock down (Section 3.7): squash them instead.
     const InstSeqNum atomic_seq = oldestPendingAtomic();
     if (atomic_seq != invalidSeqNum) {
-        for (auto &[seq, lq] : _lq) {
+        for (auto [seq, lq] : _lq) {
             if (seq > atomic_seq && lq.lockdown &&
                 lineOf(lq.addr) == line) {
                 squashFrom(seq, lq.pc, _squashInv);
@@ -999,7 +1004,7 @@ Core::coherenceInvalidation(Addr line)
         ++_lockdownsSeen;
         // Set the S bits (stats/introspection; the owed flag is the
         // authoritative state).
-        for (auto &[seq, lq] : _lq)
+        for (auto [seq, lq] : _lq)
             if (lq.lockdown && lineOf(lq.addr) == line)
                 lq.seen = true;
         for (auto &[seq, ldt] : _ldt)

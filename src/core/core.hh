@@ -38,6 +38,7 @@
 #include "coherence/core_mem_if.hh"
 #include "coherence/l1_controller.hh"
 #include "core/config.hh"
+#include "core/seq_table.hh"
 #include "isa/program.hh"
 #include "sim/sim_object.hh"
 
@@ -255,13 +256,15 @@ class Core : public SimObject, public CoreMemIf
     bool _fetchBlocked = false; //!< Halt fetched, not yet committed
     Tick _fetchStallUntil = 0;
 
-    // structures
-    std::map<InstSeqNum, RobEntry> _rob;
+    // structures (flat seq-indexed rings; docs/PERFORMANCE.md)
+    SeqTable<RobEntry> _rob;
     std::vector<InstSeqNum> _iq; // waiting entries (seq)
-    std::map<InstSeqNum, LqEntry> _lq;
-    std::map<InstSeqNum, SqEntry> _sq;
+    SeqTable<LqEntry> _lq;
+    SeqTable<SqEntry> _sq;
     std::deque<SbEntry> _sb;
-    std::map<InstSeqNum, LdtEntry> _ldt;
+    /** Exported lockdowns of committed loads. OoO commit inserts
+     *  out of seq order, so this is a small flat list, not a ring. */
+    std::vector<std::pair<InstSeqNum, LdtEntry>> _ldt;
     std::array<InstSeqNum, numRegs> _regMap{};
     BranchPredictor _bp;
 

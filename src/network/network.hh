@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "recovery/recovery.hh"
+#include "sim/arena.hh"
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
@@ -69,8 +70,12 @@ struct NetMsg
 };
 
 /**
- * Shared ownership keeps delivery events copyable (std::function);
- * messages are logically owned by exactly one component at a time.
+ * Shared ownership: a fault-duplicated message is referenced by two
+ * delivery events at once, and endpoint queues hold messages while
+ * the ledger still names them. Messages are logically owned by
+ * exactly one component at a time. Allocated from the arena
+ * (allocate_shared in makeCohMsg), so the control block shares the
+ * message's pooled node.
  */
 using MsgPtr = std::shared_ptr<NetMsg>;
 
@@ -215,7 +220,12 @@ class Network : public SimObject
     std::vector<Handler> _handlers;
     FaultInjector *_faults = nullptr;
     RecoveryConfig _recovery{};
-    std::map<std::uint64_t, InFlightMsg> _ledger;
+    /** Arena-backed: one ledger node per in-flight message is the
+     *  network's hottest allocation after the messages themselves. */
+    std::map<std::uint64_t, InFlightMsg, std::less<std::uint64_t>,
+             ArenaAllocator<std::pair<const std::uint64_t,
+                                      InFlightMsg>>>
+        _ledger;
     std::uint64_t _nextMsgId = 0;
     std::vector<std::uint64_t> _srcSeq;       //!< per-source stamps
     DedupFilter _deliveryTracker;             //!< dup-delivery stats

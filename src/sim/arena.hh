@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Slab/freelist arena for the simulator's hot fixed-size
+ * allocations: coherence/network message objects (one allocation
+ * per hop via allocate_shared) and the network ledger's map nodes.
+ *
+ * SlabPool<T> hands out raw storage for exactly one T from 64-entry
+ * slabs threaded by a freelist; ArenaAllocator<T> adapts it to the
+ * standard allocator interface (n == 1 pooled, larger requests fall
+ * back to ::operator new, so container rebinds that allocate arrays
+ * still work).
+ *
+ * Thread contract: the pool is thread_local, so allocation and
+ * deallocation must happen on the same thread. The simulator
+ * honours this by construction — a System (and every message or
+ * ledger entry it owns) lives and dies on the single thread driving
+ * it, which is exactly the System thread-safety contract the
+ * campaign runner already relies on (system.hh).
+ */
+
+#ifndef WB_SIM_ARENA_HH
+#define WB_SIM_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace wb
+{
+
+/** Freelist-of-slabs pool for single objects of type T. Storage is
+ *  only returned to the OS at thread exit; steady state recycles. */
+template <typename T>
+class SlabPool
+{
+    union Node
+    {
+        Node *next;
+        alignas(T) unsigned char storage[sizeof(T)];
+    };
+    static constexpr std::size_t slabSize = 64;
+
+  public:
+    static SlabPool &
+    instance()
+    {
+        thread_local SlabPool pool;
+        return pool;
+    }
+
+    void *
+    alloc()
+    {
+        if (!_free)
+            refill();
+        Node *n = _free;
+        _free = n->next;
+        return n;
+    }
+
+    void
+    free(void *p)
+    {
+        Node *n = static_cast<Node *>(p);
+        n->next = _free;
+        _free = n;
+    }
+
+  private:
+    void
+    refill()
+    {
+        _slabs.push_back(std::make_unique<Node[]>(slabSize));
+        Node *slab = _slabs.back().get();
+        for (std::size_t i = 0; i < slabSize; ++i) {
+            slab[i].next = _free;
+            _free = &slab[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<Node[]>> _slabs;
+    Node *_free = nullptr;
+};
+
+/** Standard-allocator adapter over SlabPool (stateless; all
+ *  instances are interchangeable). Use with allocate_shared so the
+ *  control block and object land in one pooled node, or as a
+ *  node-based container's allocator. */
+template <typename T>
+struct ArenaAllocator
+{
+    using value_type = T;
+
+    ArenaAllocator() = default;
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &)
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1)
+            return static_cast<T *>(SlabPool<T>::instance().alloc());
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        if (n == 1)
+            SlabPool<T>::instance().free(p);
+        else
+            ::operator delete(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const ArenaAllocator<U> &) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const ArenaAllocator<U> &) const
+    {
+        return false;
+    }
+};
+
+} // namespace wb
+
+#endif // WB_SIM_ARENA_HH

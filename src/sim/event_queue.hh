@@ -5,16 +5,28 @@
  * Events are arbitrary callbacks scheduled at a tick with a priority.
  * Two events at the same (tick, priority) execute in scheduling order,
  * which keeps whole-system simulations reproducible across runs.
+ *
+ * Implementation: a calendar queue. Near-future events (within
+ * numBuckets ticks of now) live in per-tick buckets, one intrusive
+ * FIFO lane per priority, giving O(1) schedule and O(1) extract-min
+ * on the hot path; far-future events wait in a small binary heap and
+ * migrate into the calendar as time advances. Event nodes come from
+ * an internal slab pool, so steady-state scheduling performs no
+ * global allocation. The observable ordering contract — (tick,
+ * priority, scheduling order) — is identical to the std::priority_
+ * queue implementation this replaced, and is pinned by
+ * tests/test_event_queue.cc.
  */
 
 #ifndef WB_SIM_EVENT_QUEUE_HH
 #define WB_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace wb
@@ -41,7 +53,9 @@ enum class EventPriority : int
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline-storage callable: the closure lives inside the
+     *  pool-allocated event node, not behind a heap pointer. */
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -53,7 +67,9 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute tick @p when.
      *
-     * @pre when >= now()
+     * Scheduling in the past (when < now()) is a simulator bug and
+     * raises a classified panic — silently accepting it would
+     * corrupt the queue's ordering contract in release builds.
      */
     void schedule(Tick when, Callback cb,
                   EventPriority prio = EventPriority::Default);
@@ -67,10 +83,10 @@ class EventQueue
     }
 
     /** @return true if no events remain. */
-    bool empty() const { return _heap.empty(); }
+    bool empty() const { return _size == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return _heap.size(); }
+    std::size_t size() const { return _size; }
 
     /** Tick of the next pending event, or maxTick if none. */
     Tick nextTick() const;
@@ -97,28 +113,66 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
   private:
-    struct Entry
+    /** Calendar width: one bucket per tick, power of two. Events
+     *  further out than this wait in the overflow heap. */
+    static constexpr std::size_t numBuckets = 256;
+    static constexpr Tick bucketMask = Tick(numBuckets - 1);
+    static constexpr int numLanes = 3; //!< one per EventPriority
+    static constexpr std::size_t slabSize = 256;
+
+    /** Pool-allocated intrusive event node. */
+    struct Event
     {
-        Tick when;
-        int prio;
-        std::uint64_t order; // tie breaker: scheduling order
         Callback cb;
+        Tick when = 0;
+        std::uint64_t order = 0; //!< tie breaker: scheduling order
+        Event *next = nullptr;   //!< lane FIFO / freelist link
+        std::uint8_t lane = 0;
     };
 
-    struct Later
+    /** One tick's events: a FIFO lane per priority. */
+    struct Bucket
     {
+        std::array<Event *, numLanes> head{};
+        std::array<Event *, numLanes> tail{};
+
         bool
-        operator()(const Entry &a, const Entry &b) const
+        empty() const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.order > b.order;
+            return !head[0] && !head[1] && !head[2];
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    static std::uint8_t
+    laneOf(EventPriority prio)
+    {
+        return prio == EventPriority::Delivery ? 0
+               : prio == EventPriority::Default ? 1
+                                                : 2;
+    }
+
+    Event *allocEvent();
+    void freeEvent(Event *e);
+    void pushBucket(Event *e);
+    void pushOverflow(Event *e);
+    /** Pull overflow events that now fall inside the calendar
+     *  window; must run every time _now advances. */
+    void migrateOverflow();
+    void advanceTo(Tick t);
+    /** Fire every event of the current tick, honouring priority
+     *  order even for events scheduled mid-drain. */
+    void drainCurrentBucket();
+    /** Earliest pending tick <= @p limit, or maxTick. */
+    Tick nextEventTick(Tick limit) const;
+
+    std::array<Bucket, numBuckets> _buckets{};
+    std::vector<Event *> _overflow; //!< min-heap by (when, order)
+    std::size_t _numBucketed = 0;
+
+    std::vector<std::unique_ptr<Event[]>> _slabs;
+    Event *_freeList = nullptr;
+
+    std::size_t _size = 0;
     Tick _now = 0;
     std::uint64_t _nextOrder = 0;
     std::uint64_t _executed = 0;

@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,6 +12,22 @@ namespace wb
 
 namespace
 {
+
+std::mutex gateMutex;       //!< serialises all StderrGate writes
+std::FILE *statusStream;    //!< stream holding the live status line
+bool statusLive = false;    //!< an unterminated '\r' line is showing
+
+/** Width the status line is padded/erased to. */
+constexpr int statusWidth = 78;
+
+void
+clearStatusLocked(std::FILE *f)
+{
+    if (statusLive && statusStream == f) {
+        std::fprintf(f, "\r%-*s\r", statusWidth, "");
+        statusLive = false;
+    }
+}
 
 std::string
 vformat(const char *fmt, std::va_list ap)
@@ -28,15 +45,46 @@ vformat(const char *fmt, std::va_list ap)
 } // namespace
 
 void
+StderrGate::writeBlock(std::FILE *f, const char *s)
+{
+    std::lock_guard<std::mutex> lk(gateMutex);
+    clearStatusLocked(f);
+    std::fputs(s, f);
+    std::fflush(f);
+}
+
+void
+StderrGate::writeStatus(std::FILE *f, const char *s)
+{
+    std::lock_guard<std::mutex> lk(gateMutex);
+    std::fprintf(f, "\r%-*s", statusWidth, s);
+    std::fflush(f);
+    statusStream = f;
+    statusLive = true;
+}
+
+void
+StderrGate::clearStatus(std::FILE *f)
+{
+    std::lock_guard<std::mutex> lk(gateMutex);
+    clearStatusLocked(f);
+    std::fflush(f);
+}
+
+void
 Trace::printLine(Tick tick, const char *unit, const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
     std::string body = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(sink(), "%10llu: %-12s %s\n",
-                 static_cast<unsigned long long>(tick), unit,
-                 body.c_str());
+    char head[64];
+    std::snprintf(head, sizeof(head), "%10llu: %-12s ",
+                  static_cast<unsigned long long>(tick), unit);
+    // One gated write per line: lines from concurrent systems can
+    // interleave with each other, but never tear mid-line or splice
+    // into a live progress line.
+    StderrGate::writeBlock(sink(), (head + body + "\n").c_str());
 }
 
 void

@@ -111,6 +111,32 @@ class Trace
 };
 
 /**
+ * Single guarded writer for shared diagnostic streams.
+ *
+ * During a campaign the tty progress line (a '\r'-rewritten status
+ * line with no trailing newline) shares stderr with worker watchdog
+ * dumps and trace lines. Raw fprintf from a worker would splice its
+ * output into the middle of the status line. All writers go through
+ * this gate instead: one process-global mutex serialises writes, and
+ * a block write first erases any live status line on the same stream
+ * so diagnostics always start at column 0.
+ */
+class StderrGate
+{
+  public:
+    /** Atomically write a complete block (one or more newline-
+     *  terminated lines), clearing a live status line first. */
+    static void writeBlock(std::FILE *f, const char *s);
+
+    /** Replace the transient status line (no trailing newline;
+     *  padded and '\r'-rewritten in place). */
+    static void writeStatus(std::FILE *f, const char *s);
+
+    /** Erase the status line, if one is live on @p f. */
+    static void clearStatus(std::FILE *f);
+};
+
+/**
  * Trace macro: cheap when the flag is off.
  * Usage: WB_TRACE(flag, tick, "l1.3", "fill line %lx", addr);
  */

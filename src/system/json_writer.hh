@@ -30,9 +30,15 @@ jsonEscape(const std::string &s)
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
           default:
+            // Escape through unsigned char: a plain (signed) char
+            // sign-extends through the %x varargs promotion, so a
+            // negative byte would print as backslash-u followed by many
+            // f digits - an invalid escape that also truncates against
+            // the 8-byte buffer.
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
                 out += buf;
             } else {
                 out += c;

@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include <cassert>
+#include <cstdarg>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -10,6 +11,32 @@
 
 namespace wb
 {
+
+namespace
+{
+
+/** Watchdog diagnostics go through the single guarded stderr
+ *  writer, so they cannot tear against a campaign progress line or
+ *  another worker's dump. */
+void
+watchdogLine(const char *fmt, ...)
+#ifdef __GNUC__
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+void
+watchdogLine(const char *fmt, ...)
+{
+    char buf[256];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    StderrGate::writeBlock(stderr, buf);
+}
+
+} // namespace
 
 System::System(const SystemConfig &cfg, const Workload &workload)
     : _cfg(cfg)
@@ -191,8 +218,7 @@ System::run()
         } else if (_cycle - _lastProgress > _cfg.watchdogCycles) {
             _deadlocked = true;
             _deadlockReason = "commit-watchdog";
-            std::fprintf(stderr,
-                         "WATCHDOG: no commit for %llu cycles at "
+            watchdogLine("WATCHDOG: no commit for %llu cycles at "
                          "cycle %llu\n",
                          static_cast<unsigned long long>(
                              _cfg.watchdogCycles),
@@ -233,8 +259,7 @@ System::pollTransactionAges()
     if (age >= _cfg.txnDeadlockCycles) {
         _deadlocked = true;
         _deadlockReason = "transaction-timeout: " + who;
-        std::fprintf(stderr,
-                     "WATCHDOG: transaction at %s stuck for %llu "
+        watchdogLine("WATCHDOG: transaction at %s stuck for %llu "
                      "cycles at cycle %llu\n",
                      who.c_str(),
                      static_cast<unsigned long long>(age),
@@ -245,8 +270,7 @@ System::pollTransactionAges()
     if (age >= _cfg.txnWarnCycles) {
         if (!_txnWarned) {
             _txnWarned = true;
-            std::fprintf(
-                stderr,
+            watchdogLine(
                 "WATCHDOG: slow transaction at %s (age %llu) at "
                 "cycle %llu\n",
                 who.c_str(), static_cast<unsigned long long>(age),
@@ -388,8 +412,7 @@ System::drainTeardown()
     if (!cleanTeardown(&why)) {
         _deadlocked = true;
         _deadlockReason = "message-leak: " + why;
-        std::fprintf(stderr,
-                     "WATCHDOG: unclean teardown at cycle %llu: "
+        watchdogLine("WATCHDOG: unclean teardown at cycle %llu: "
                      "%s\n",
                      static_cast<unsigned long long>(_cycle),
                      why.c_str());
@@ -489,7 +512,10 @@ System::dumpStateToStderr() const
 {
     std::ostringstream os;
     dumpState(os);
-    std::fputs(os.str().c_str(), stderr);
+    // One gated write for the whole dump: it lands as one block
+    // even while other workers and the progress reporter share
+    // stderr.
+    StderrGate::writeBlock(stderr, os.str().c_str());
 }
 
 std::uint64_t

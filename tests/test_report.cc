@@ -6,6 +6,7 @@
 
 #include "system/report.hh"
 #include "workload/litmus.hh"
+#include "workload/synthetic.hh"
 
 namespace wb
 {
@@ -17,6 +18,25 @@ TEST(Report, JsonEscaping)
     EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
     EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
     EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Report, JsonEscapingNonAsciiAndControlBytes)
+{
+    // Control chars use exactly four hex digits; the escape must go
+    // through unsigned char, because a signed-char promotion would
+    // sign-extend a negative byte into "\uffffffXX" garbage.
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+
+    // Non-ASCII payload (UTF-8 bytes are all >= 0x80) passes
+    // through byte-identical, never escaped, never sign-extended.
+    const std::string utf8 = "caf\xc3\xa9 \xe2\x86\x92 d\xc3\xa9j\xc3\xa0";
+    EXPECT_EQ(jsonEscape(utf8), utf8);
+
+    const std::string mixed =
+        std::string("\x01") + "\xc3\xa9" + "\x1f";
+    EXPECT_EQ(jsonEscape(mixed), "\\u0001\xc3\xa9\\u001f");
+    EXPECT_EQ(jsonEscape(mixed).find("ffff"), std::string::npos);
 }
 
 TEST(Report, RunReportContainsKeyFields)
@@ -65,6 +85,36 @@ TEST(Report, OmitsStatsWhenNotRequested)
     std::ostringstream os;
     writeJsonReport(os, wl.name, cfg, r, nullptr);
     EXPECT_EQ(os.str().find("\"stats\""), std::string::npos);
+}
+
+TEST(Report, SameSeedRunsAreByteIdentical)
+{
+    // Determinism pin: two fresh systems over the same (workload,
+    // seed, config) must produce byte-identical JSON reports, stats
+    // included. This is what makes wbperf's fingerprint comparison
+    // against a pre-change baseline meaningful.
+    SyntheticParams p;
+    p.iterations = 40;
+    p.bodyOps = 24;
+    p.sharedRatio = 0.4;
+    p.seed = 7;
+    const Workload wl = makeSynthetic(p, 4);
+
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.mesh.width = 2;
+    cfg.mesh.height = 2;
+    cfg.setMode(CommitMode::OooWB);
+
+    auto once = [&] {
+        System sys(cfg, wl);
+        const SimResults r = sys.run();
+        EXPECT_TRUE(r.completed);
+        std::ostringstream os;
+        writeJsonReport(os, wl.name, cfg, r, &sys.stats());
+        return os.str();
+    };
+    EXPECT_EQ(once(), once());
 }
 
 } // namespace wb
