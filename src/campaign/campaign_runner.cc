@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include "campaign/campaign_aggregator.hh"
+#include "campaign/job_journal.hh"
+#include "campaign/result_cache.hh"
 #include "obs/perfetto.hh"
 #include "recovery/equivalence.hh"
 #include "sim/log.hh"
@@ -135,18 +137,22 @@ executeWithRetry(const CampaignSpec &spec, const JobSpec &job,
 
 std::string
 progressLine(const CampaignSummary &s, int busy, int workers,
-             double elapsed)
+             double elapsed, std::size_t cache_hits)
 {
-    char buf[192];
+    char buf[224];
     const double rate = elapsed > 0 ? double(s.done) / elapsed : 0;
     const long eta =
         rate > 0 ? long(double(s.total - s.done) / rate + 0.5) : -1;
+    char cache[32] = "";
+    if (cache_hits)
+        std::snprintf(cache, sizeof(cache), " cached %zu",
+                      cache_hits);
     std::snprintf(buf, sizeof(buf),
-                  "[%zu/%zu] ok %zu dl %zu pn %zu tso %zu inf %zu "
+                  "[%zu/%zu] ok %zu dl %zu pn %zu tso %zu inf %zu%s "
                   "| busy %d/%d | %.1f job/s eta %lds",
                   s.done, s.total, s.ok, s.deadlocks, s.panics,
-                  s.tsoViolations, s.infraFailures, busy, workers,
-                  rate, eta >= 0 ? eta : 0);
+                  s.tsoViolations, s.infraFailures, cache, busy,
+                  workers, rate, eta >= 0 ? eta : 0);
     return buf;
 }
 
@@ -191,6 +197,46 @@ CampaignRunner::run()
     std::atomic<std::size_t> next{0};
     std::atomic<int> busy{0};
     std::atomic<bool> finished{false};
+    std::atomic<std::size_t> cache_hits{0};
+    std::atomic<std::size_t> cache_misses{0};
+    std::atomic<std::size_t> journaled_n{0};
+
+    auto stopRequested = [this] {
+        return _opts.stopFlag &&
+               _opts.stopFlag->load(std::memory_order_relaxed);
+    };
+
+    // Write-ahead journal: header first, then one fsynced record
+    // per finished job (job_journal.hh).
+    JobJournal journal;
+    if (!_opts.journalPath.empty()) {
+        JournalHeader hdr = _opts.journalHeader;
+        hdr.specFingerprint = jobListFingerprint(jobs);
+        hdr.jobCount = jobs.size();
+        std::string jerr;
+        if (!journal.open(_opts.journalPath, hdr, jerr))
+            fatal("campaign: %s", jerr.c_str());
+    }
+
+    // Replay results recorded before an interruption: slot them in
+    // by index, count them, and re-journal them so a re-interrupted
+    // resume is itself resumable from the fresh journal.
+    std::vector<char> done(jobs.size(), 0);
+    if (_opts.preloaded) {
+        for (const JobResult &r : *_opts.preloaded) {
+            const std::size_t i = r.spec.index;
+            if (i >= jobs.size() || done[i])
+                continue;
+            out.jobs[i] = r;
+            done[i] = 1;
+            journaled_n.fetch_add(1, std::memory_order_relaxed);
+            agg.record(out.jobs[i]);
+            journal.append(out.jobs[i]);
+        }
+    }
+
+    const ResultCache cache(_opts.cacheDir);
+    const bool use_cache = !_opts.cacheDir.empty();
 
     const auto t0 = std::chrono::steady_clock::now();
     auto elapsed = [&t0] {
@@ -206,17 +252,74 @@ CampaignRunner::run()
 
     auto worker = [&] {
         for (;;) {
+            if (stopRequested())
+                return;
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
+            if (done[i]) // replayed from the resume journal
+                continue;
             busy.fetch_add(1, std::memory_order_relaxed);
-            // Each slot is written by exactly one worker; the
-            // joining thread synchronises via thread::join.
-            out.jobs[i] =
-                executeWithRetry(_spec, jobs[i], _opts.outDir,
-                                 _opts.verifyEquivalence);
+
+            // Content-addressed cache: key the job by the
+            // fingerprints of the config + workload it would run
+            // (result_cache.hh). Key construction failures fall
+            // through to normal execution, which classifies them.
+            std::string key;
+            bool hit = false;
+            if (use_cache) {
+                try {
+                    key = ResultCache::keyString(
+                        _spec, jobs[i], _opts.verifyEquivalence);
+                } catch (...) {
+                }
+                JobResult cached;
+                if (!key.empty() && cache.lookup(key, cached)) {
+                    // Re-home the entry on this job: index/paths
+                    // are positional, not part of the result.
+                    cached.spec = jobs[i];
+                    cached.crashReportPath.clear();
+                    if (!cached.crashJson.empty() &&
+                        !_opts.outDir.empty()) {
+                        const std::string path =
+                            _opts.outDir + "/crash-job" +
+                            std::to_string(jobs[i].index) +
+                            ".json";
+                        std::ofstream f(path);
+                        if (f) {
+                            f << cached.crashJson;
+                            if (f.good())
+                                cached.crashReportPath = path;
+                        }
+                    }
+                    out.jobs[i] = cached;
+                    hit = true;
+                    cache_hits.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            }
+
+            if (!hit) {
+                // Each slot is written by exactly one worker; the
+                // joining thread synchronises via thread::join.
+                out.jobs[i] =
+                    executeWithRetry(_spec, jobs[i], _opts.outDir,
+                                     _opts.verifyEquivalence);
+                if (use_cache) {
+                    cache_misses.fetch_add(
+                        1, std::memory_order_relaxed);
+                    // Never cache infra failures: they describe
+                    // the host (OOM, fs trouble), not the job.
+                    if (!key.empty() &&
+                        !out.jobs[i].infraFailure)
+                        cache.store(key, out.jobs[i]);
+                }
+            }
             agg.record(out.jobs[i]);
+            journal.append(out.jobs[i]);
+            journaled_n.fetch_add(1, std::memory_order_relaxed);
+            done[i] = 1;
             busy.fetch_sub(1, std::memory_order_relaxed);
         }
     };
@@ -248,7 +351,7 @@ CampaignRunner::run()
                     StderrGate::writeStatus(
                         pstream,
                         progressLine(s, busy.load(), nworkers,
-                                     elapsed())
+                                     elapsed(), cache_hits.load())
                             .c_str());
                 } else if (s.done >= last_done + step ||
                            s.done == s.total) {
@@ -256,7 +359,8 @@ CampaignRunner::run()
                     StderrGate::writeBlock(
                         pstream,
                         (progressLine(s, busy.load(), nworkers,
-                                      elapsed()) +
+                                      elapsed(),
+                                      cache_hits.load()) +
                          "\n")
                             .c_str());
                 }
@@ -282,8 +386,17 @@ CampaignRunner::run()
         reporter.join();
     }
 
+    journal.close();
+
     out.summary = agg.summary();
     out.wallSeconds = elapsed();
+    out.cacheHits = cache_hits.load();
+    out.cacheMisses = cache_misses.load();
+    out.journaled = _opts.journalPath.empty()
+                        ? 0
+                        : journaled_n.load();
+    out.interrupted =
+        stopRequested() && out.summary.done < out.summary.total;
     return out;
 }
 

@@ -23,6 +23,7 @@
 #ifndef WB_CAMPAIGN_CAMPAIGN_RUNNER_HH
 #define WB_CAMPAIGN_CAMPAIGN_RUNNER_HH
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -58,6 +59,28 @@ struct JobResult
     std::string equivalenceDetail; //!< first divergence ("" = match)
 };
 
+/** Everything needed to rebuild the campaign on --resume; written
+ *  as the journal header (see job_journal.hh for the file format). */
+struct JournalHeader
+{
+    /** "manifest" (specText = manifest contents) or "builtin"
+     *  (specText = builtin name). */
+    std::string specKind;
+    std::string specText;
+
+    // CLI overrides that shape the job list / results.
+    std::int64_t seedsOverride = 0;
+    bool recovery = false;
+    bool verifyEquivalence = false;
+    bool checkFaults = false;
+    bool strict = false;
+
+    /** Fingerprint of the expanded job list; resume refuses a
+     *  journal whose jobs do not match the rebuilt spec. */
+    std::uint64_t specFingerprint = 0;
+    std::uint64_t jobCount = 0;
+};
+
 /** Order-independent campaign tallies (live and final). */
 struct CampaignSummary
 {
@@ -89,6 +112,17 @@ struct CampaignResult
     CampaignSummary summary;
     double wallSeconds = 0; //!< never serialised (non-deterministic)
 
+    // Durability bookkeeping. None of these enter the aggregate
+    // JSON/CSV — a resumed or cache-assisted campaign must stay
+    // byte-identical to an uninterrupted cold one — they go to the
+    // durability.json sidecar and stderr instead.
+    bool interrupted = false;  //!< stop flag fired; job list is
+                               //!< partial (jobs[] has empty slots)
+    std::size_t journaled = 0; //!< records written to the journal
+                               //!< (replayed + freshly executed)
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
+
     /** Linear lookup by axis values; nullptr when absent. */
     const JobResult *find(const std::string &workload,
                           CommitMode mode, CoreClass cls,
@@ -117,6 +151,24 @@ class CampaignRunner
          *  its fault-free twin (faults cleared, recovery off) and
          *  compare end states; a divergence is a hard failure. */
         bool verifyEquivalence = false;
+
+        /** Cooperative stop (signal handler sets it): workers stop
+         *  claiming new jobs, in-flight jobs drain and are
+         *  journaled, run() returns with interrupted = true. */
+        const std::atomic<bool> *stopFlag = nullptr;
+        /** Write-ahead journal path; "" = no journal. Each finished
+         *  job is appended and fsynced (job_journal.hh). */
+        std::string journalPath;
+        /** Journal header to write when journalPath is set; the
+         *  runner fills specFingerprint/jobCount itself. */
+        JournalHeader journalHeader;
+        /** Already-finished results replayed from a --resume
+         *  journal; matched to jobs by spec fingerprint + index and
+         *  not re-run (they are re-journaled into the fresh
+         *  journal so a re-interrupted resume stays resumable). */
+        const std::vector<JobResult> *preloaded = nullptr;
+        /** Content-addressed result cache directory; "" = off. */
+        std::string cacheDir;
     };
 
     explicit CampaignRunner(const CampaignSpec &spec)

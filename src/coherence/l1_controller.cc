@@ -1287,4 +1287,108 @@ L1Controller::lockdownLifted(Addr line)
     send(make(CohType::AckRelease, line, home(line)));
 }
 
+namespace
+{
+
+void
+putBlock(ByteWriter &w, const DataBlock &d)
+{
+    for (std::uint64_t v : d.value)
+        w.u64(v);
+    for (Version v : d.version)
+        w.u64(v);
+}
+
+template <typename Map>
+std::vector<typename Map::key_type>
+sortedKeys(const Map &m)
+{
+    std::vector<typename Map::key_type> keys;
+    keys.reserve(m.size());
+    for (const auto &kv : m)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
+
+void
+L1Controller::serializeState(ByteWriter &w) const
+{
+    _array.serializeState(w,
+                          [](ByteWriter &bw, const PrivLine &pl) {
+                              bw.u8(std::uint8_t(pl.st));
+                              putBlock(bw, pl.data);
+                          });
+    _l1Tags.serializeState(w, [](ByteWriter &, const char &) {});
+
+    auto putLoads = [&](const std::vector<WaitingLoad> &loads) {
+        w.u64(loads.size());
+        for (const WaitingLoad &l : loads) {
+            w.u64(l.seq);
+            w.u64(l.addr);
+            w.u64(l.issued);
+        }
+    };
+    auto putMshr = [&](const Mshr &m) {
+        w.u8(std::uint8_t(m.kind));
+        w.u64(m.line);
+        w.b(m.blocked);
+        w.b(m.grantSeen);
+        w.b(m.dataArrived);
+        w.b(m.upgrade);
+        w.b(m.exclusive);
+        w.i64(m.acksExpected);
+        w.i64(m.acksReceived);
+        w.b(m.fillPending);
+        w.u64(m.born);
+        w.u32(m.retries);
+        w.u64(m.lastAttempt);
+        w.b(m.exhausted);
+        putBlock(w, m.data);
+        putLoads(m.loads);
+    };
+
+    w.u64(_mshrs.size());
+    for (Addr line : sortedKeys(_mshrs))
+        putMshr(_mshrs.at(line));
+    w.b(_sosMshr.has_value());
+    if (_sosMshr)
+        putMshr(*_sosMshr);
+
+    w.u64(_wbBuf.size());
+    for (Addr line : sortedKeys(_wbBuf)) {
+        const WbEntry &e = _wbBuf.at(line);
+        w.u64(line);
+        putBlock(w, e.data);
+        w.b(e.dirty);
+        w.u8(std::uint8_t(e.putType));
+        w.u64(e.born);
+        w.u32(e.retries);
+        w.u64(e.lastAttempt);
+        w.b(e.exhausted);
+    }
+
+    w.u64(_wbWaiters.size());
+    for (Addr line : sortedKeys(_wbWaiters)) {
+        w.u64(line);
+        putLoads(_wbWaiters.at(line));
+    }
+
+    // Retry vectors: their own order is deterministic pipeline state.
+    w.u64(_retryFills.size());
+    for (Addr line : _retryFills)
+        w.u64(line);
+    putLoads(_loadRetryQ);
+
+    w.u64(_ledger.size());
+    for (InstSeqNum seq : sortedKeys(_ledger)) {
+        w.u64(seq);
+        w.str(_ledger.at(seq));
+    }
+
+    _dedup.serializeState(w);
+}
+
 } // namespace wb

@@ -192,6 +192,12 @@ class L1Controller : public SimObject
      *  checker input). */
     std::vector<Addr> cachedLines() const;
 
+    /** Snapshot witness: both tag arrays, every MSHR (incl. the
+     *  reserved SoS entry), the writeback buffer, parked loads, the
+     *  diagnostic ledger and the dedup windows. Unordered maps are
+     *  emitted in sorted key order (docs/CHECKPOINT.md). */
+    void serializeState(ByteWriter &w) const;
+
     /** Functional debug read: true if the line is cached here, with
      *  the word value and whether this copy is writable (E/M). */
     bool

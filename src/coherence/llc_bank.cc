@@ -1051,4 +1051,98 @@ LLCBank::fetchFromMemory(DirEntry &e, Addr line)
         });
 }
 
+// ---------------------------------------------------------------
+// Snapshot witness
+// ---------------------------------------------------------------
+
+namespace
+{
+
+void
+putDirBlock(ByteWriter &w, const DataBlock &b)
+{
+    for (std::uint64_t v : b.value)
+        w.u64(v);
+    for (Version v : b.version)
+        w.u64(v);
+}
+
+void
+putCohMsg(ByteWriter &w, const NetMsg &base)
+{
+    const auto &m = static_cast<const CohMsg &>(base);
+    w.i64(m.src);
+    w.i64(m.dst);
+    w.u8(std::uint8_t(m.vnet));
+    w.u32(m.flits);
+    w.u64(m.seq);
+    w.u8(std::uint8_t(m.type));
+    w.u64(m.line);
+    w.i64(m.requestor);
+    w.i64(m.ackCount);
+    w.b(m.exclusive);
+    w.u64(m.txnId);
+    w.b(m.ownerRetained);
+    w.b(m.fromGetU);
+    w.i64(m.retry);
+    w.b(m.hasData);
+    w.b(m.dirty);
+    putDirBlock(w, m.data);
+}
+
+} // namespace
+
+void
+LLCBank::serializeState(ByteWriter &w) const
+{
+    auto putEntry = [](ByteWriter &bw, const DirEntry &e) {
+        bw.u8(std::uint8_t(e.state));
+        bw.b(e.haveData);
+        bw.b(e.dirty);
+        putDirBlock(bw, e.data);
+        bw.u32(e.sharers);
+        bw.i64(e.owner);
+        bw.i64(e.reqor);
+        bw.u64(e.txnId);
+        bw.b(e.grantExclusive);
+        bw.b(e.copyDataPending);
+        bw.b(e.unblockSeen);
+        bw.b(e.oldOwnerRetained);
+        bw.i64(e.oldOwner);
+        bw.i64(e.recallPending);
+        bw.b(e.hintSent);
+        bw.b(e.evicting);
+        bw.u64(e.busySince);
+        bw.u64(e.deferred.size());
+        for (const MsgPtr &m : e.deferred)
+            putCohMsg(bw, *m);
+    };
+
+    _array.serializeState(w, putEntry);
+
+    std::vector<Addr> lines;
+    lines.reserve(_evbuf.size());
+    for (const auto &kv : _evbuf)
+        lines.push_back(kv.first);
+    std::sort(lines.begin(), lines.end());
+    w.u64(lines.size());
+    for (Addr line : lines) {
+        w.u64(line);
+        putEntry(w, _evbuf.at(line));
+    }
+
+    lines.assign(_busyLines.begin(), _busyLines.end());
+    std::sort(lines.begin(), lines.end());
+    w.u64(lines.size());
+    for (Addr line : lines)
+        w.u64(line);
+
+    w.u64(_retryQueue.size());
+    for (const MsgPtr &m : _retryQueue)
+        putCohMsg(w, *m);
+
+    w.u64(_txnCounter);
+    _dedup.serializeState(w);
+}
+
 } // namespace wb

@@ -106,6 +106,13 @@ class LLCBank : public SimObject
      *  this to compare final cache-line values across runs. */
     std::vector<Addr> cachedLines() const;
 
+    /** Snapshot witness: directory array, eviction buffer, busy-line
+     *  set, retry queue (deferred/parked messages encoded by their
+     *  logical coherence fields), transaction counter and dedup
+     *  windows. Unordered containers are emitted in sorted key order
+     *  (docs/CHECKPOINT.md). */
+    void serializeState(ByteWriter &w) const;
+
   private:
     enum class DirState : std::uint8_t
     {

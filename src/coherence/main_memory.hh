@@ -18,6 +18,7 @@
 
 #include "mem/addr.hh"
 #include "mem/data_block.hh"
+#include "sim/bytes.hh"
 
 namespace wb
 {
@@ -67,6 +68,23 @@ class MainMemory
             out.push_back(line);
         std::sort(out.begin(), out.end());
         return out;
+    }
+
+    /** Snapshot witness: every populated line, addresses ascending,
+     *  values and versions word by word. */
+    void
+    serializeState(ByteWriter &w) const
+    {
+        const std::vector<Addr> addrs = lineAddrs();
+        w.u64(addrs.size());
+        for (Addr a : addrs) {
+            const DataBlock &d = _lines.at(a);
+            w.u64(a);
+            for (std::uint64_t v : d.value)
+                w.u64(v);
+            for (Version v : d.version)
+                w.u64(v);
+        }
     }
 
   private:

@@ -1015,4 +1015,137 @@ Core::coherenceInvalidation(Addr line)
     return InvResponse::Ack;
 }
 
+void
+Core::serializeState(ByteWriter &w) const
+{
+    // Architectural state.
+    for (std::uint64_t r : _archRegs)
+        w.u64(r);
+    for (InstSeqNum s : _archWriter)
+        w.u64(s);
+    w.i64(_pc);
+    w.b(_halted);
+    w.b(_fetchBlocked);
+    w.u64(_fetchStallUntil);
+
+    // ROB, in ascending sequence order (SeqTable iteration order).
+    w.u64(_rob.size());
+    for (auto [seq, e] : _rob) {
+        w.u64(seq);
+        w.i64(e.pc);
+        w.u8(static_cast<std::uint8_t>(e.in.op));
+        w.u8(e.in.dst);
+        w.u8(e.in.src1);
+        w.u8(e.in.src2);
+        w.i64(e.in.imm);
+        w.i64(e.in.target);
+        w.u64(e.srcVal[0]);
+        w.u64(e.srcVal[1]);
+        w.b(e.srcReady[0]);
+        w.b(e.srcReady[1]);
+        w.u64(e.prevWriter);
+        w.u64(e.consumers.size());
+        for (const auto &[cseq, slot] : e.consumers) {
+            w.u64(cseq);
+            w.i64(slot);
+        }
+        w.u64(e.result);
+        w.b(e.inIq);
+        w.b(e.issued);
+        w.b(e.executed);
+        w.b(e.committed);
+        w.b(e.predictedTaken);
+        w.u64(e.addr);
+        w.b(e.addrReady);
+    }
+
+    // IQ: the vector's own order is deterministic pipeline state.
+    w.u64(_iq.size());
+    for (InstSeqNum s : _iq)
+        w.u64(s);
+
+    w.u64(_lq.size());
+    for (auto [seq, e] : _lq) {
+        w.u64(seq);
+        w.i64(e.pc);
+        w.u64(e.addr);
+        w.b(e.isAtomic);
+        w.b(e.issued);
+        w.b(e.performed);
+        w.b(e.forwarded);
+        w.b(e.mustRetry);
+        w.b(e.lockdown);
+        w.b(e.seen);
+        w.u64(e.value);
+        w.u64(e.version);
+    }
+
+    w.u64(_sq.size());
+    for (auto [seq, e] : _sq) {
+        w.u64(seq);
+        w.u64(e.addr);
+        w.b(e.addrReady);
+        w.u64(e.data);
+        w.b(e.dataReady);
+        w.b(e.isAtomic);
+    }
+
+    w.u64(_sb.size());
+    for (const SbEntry &e : _sb) {
+        w.u64(e.seq);
+        w.u64(e.addr);
+        w.u64(e.data);
+        w.b(e.requested);
+    }
+
+    w.u64(_ldt.size());
+    for (const auto &[seq, e] : _ldt) {
+        w.u64(seq);
+        w.u64(e.line);
+        w.b(e.seen);
+    }
+
+    for (InstSeqNum s : _regMap)
+        w.u64(s);
+    _bp.serializeState(w);
+
+    // Lockdown map: unordered, emit in ascending line order.
+    {
+        std::vector<Addr> lines;
+        lines.reserve(_locks.size());
+        for (const auto &[line, info] : _locks)
+            lines.push_back(line);
+        std::sort(lines.begin(), lines.end());
+        w.u64(lines.size());
+        for (Addr line : lines) {
+            const LockInfo &info = _locks.at(line);
+            w.u64(line);
+            w.i64(info.count);
+            w.b(info.owed);
+            w.u64(info.firstSet);
+        }
+    }
+
+    w.u64(_pendingChecks.size());
+    for (const auto &[seq, pc] : _pendingChecks) {
+        w.u64(seq);
+        w.u64(pc.addr);
+        w.u64(pc.version);
+        w.b(pc.forwarded);
+        w.u64(pc.lockdownLine);
+    }
+
+    w.u64(_frontier);
+    w.u64(_checkedUpTo);
+
+    w.u64(_fences.size());
+    for (InstSeqNum s : _fences)
+        w.u64(s);
+
+    w.u64(_nextSeq);
+    w.u64(_lastDrainedStore);
+    w.u64(_commits);
+    w.i64(_robLive);
+}
+
 } // namespace wb

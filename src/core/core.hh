@@ -36,6 +36,7 @@
 
 #include "checker/tso_checker.hh"
 #include "coherence/core_mem_if.hh"
+#include "sim/bytes.hh"
 #include "coherence/l1_controller.hh"
 #include "core/config.hh"
 #include "core/seq_table.hh"
@@ -67,6 +68,15 @@ class BranchPredictor
             ++c;
         else if (!taken && c > 0)
             --c;
+    }
+
+    /** Snapshot witness: the full 2-bit counter table. */
+    void
+    serializeState(ByteWriter &w) const
+    {
+        w.u64(_table.size());
+        for (std::uint8_t c : _table)
+            w.u8(c);
     }
 
   private:
@@ -126,6 +136,13 @@ class Core : public SimObject, public CoreMemIf
         std::size_t locksOwed = 0; //!< lines owing an AckRelease
     };
     PipelineSnapshot pipelineSnapshot() const;
+
+    /** Snapshot witness: architectural state plus every pipeline
+     *  structure (ROB/IQ/LQ/SQ/SB/LDT, rename map, predictor,
+     *  lockdowns, pending checks, fences, frontier). Unordered
+     *  containers are emitted in sorted key order so the encoding
+     *  is canonical (docs/CHECKPOINT.md). */
+    void serializeState(ByteWriter &w) const;
 
     CoreId id() const { return _id; }
     std::size_t robOccupancy() const { return _rob.size(); }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mem/addr.hh"
+#include "sim/bytes.hh"
 #include "sim/log.hh"
 #include "sim/types.hh"
 
@@ -200,6 +201,27 @@ class CacheArray
         for (const auto &w : _ways)
             n += w.valid;
         return n;
+    }
+
+    /** Snapshot witness: LRU clock plus every valid way in slot
+     *  order (slot index, tag, lru stamp), payload encoded by
+     *  @p fn(writer, payload). Slot order is deterministic — the
+     *  way vector layout is itself simulated state. */
+    template <typename Fn>
+    void
+    serializeState(ByteWriter &w, Fn fn) const
+    {
+        w.u64(_lruClock);
+        w.u64(validLines());
+        for (std::size_t i = 0; i < _ways.size(); ++i) {
+            const Way &way = _ways[i];
+            if (!way.valid)
+                continue;
+            w.u64(i);
+            w.u64(way.tag);
+            w.u64(way.lru);
+            fn(w, way.line);
+        }
     }
 
   private:

@@ -53,6 +53,14 @@ class IdealNetwork : public Network
         inject(now() + lat, std::move(msg));
     }
 
+  protected:
+    void
+    serializeExtra(ByteWriter &w) const override
+    {
+        for (std::uint64_t word : _rng.stateWords())
+            w.u64(word);
+    }
+
   private:
     IdealNetworkConfig _cfg;
     Rng _rng;

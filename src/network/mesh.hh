@@ -42,6 +42,15 @@ class MeshNetwork : public Network
     /** Number of hops between two nodes (for tests). */
     unsigned hops(int src, int dst) const;
 
+  protected:
+    void
+    serializeExtra(ByteWriter &w) const override
+    {
+        w.u64(_linkFree.size());
+        for (Tick t : _linkFree)
+            w.u64(t);
+    }
+
   private:
     /** Directed links: 4 per router (E,W,N,S), per vnet. */
     enum Dir { East = 0, West = 1, North = 2, South = 3 };

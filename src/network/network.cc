@@ -231,6 +231,34 @@ Network::accountDelivery(const NetMsg &msg, std::uint64_t id)
 }
 
 void
+Network::serializeState(ByteWriter &w) const
+{
+    w.u64(_nextMsgId);
+    // std::map iterates in key (= injection id) order, so the
+    // ledger encoding is canonical as-is.
+    w.u64(_ledger.size());
+    for (const auto &[id, e] : _ledger) {
+        w.u64(id);
+        w.str(e.kind);
+        w.i64(e.src);
+        w.i64(e.dst);
+        w.i64(e.vnet);
+        w.u64(e.addr);
+        w.u64(e.injectedAt);
+        w.b(e.dropped);
+        w.b(e.retxPending);
+    }
+    w.u64(_srcSeq.size());
+    for (std::uint64_t s : _srcSeq)
+        w.u64(s);
+    w.u64(_maxDelivered.size());
+    for (std::uint64_t s : _maxDelivered)
+        w.u64(s);
+    _deliveryTracker.serializeState(w);
+    serializeExtra(w);
+}
+
+void
 Network::deliverAt(Tick when, MsgPtr msg, std::uint64_t id)
 {
     assert(msg->dst >= 0 && msg->dst < _numNodes);

@@ -28,6 +28,7 @@
 
 #include "recovery/recovery.hh"
 #include "sim/arena.hh"
+#include "sim/bytes.hh"
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
@@ -180,6 +181,12 @@ class Network : public SimObject
         return _oooDelivered[std::size_t(vnet)]->value();
     }
 
+    /** Snapshot witness: the in-flight ledger (ordered by id),
+     *  per-source sequence stamps, per-channel delivery horizons,
+     *  the duplicate-delivery windows, and any implementation
+     *  state (serializeExtra). */
+    void serializeState(ByteWriter &w) const;
+
   protected:
     /**
      * Delivery funnel: applies the fault decision for this message
@@ -189,6 +196,10 @@ class Network : public SimObject
      * @p when = now + modelled latency.
      */
     void inject(Tick when, MsgPtr msg);
+
+    /** Implementation-specific witness state appended by concrete
+     *  networks (RNG stream, link occupancy horizons, ...). */
+    virtual void serializeExtra(ByteWriter &) const {}
 
     /** Account traffic for a message travelling @p hops hops. */
     void

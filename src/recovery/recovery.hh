@@ -35,7 +35,9 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "sim/bytes.hh"
 #include "sim/types.hh"
 
 namespace wb
@@ -111,6 +113,31 @@ class DedupFilter
         if (w.seen.size() > kPruneAbove)
             prune(w);
         return true;
+    }
+
+    /** Snapshot witness: every window, sources ascending, seen
+     *  sequence numbers ascending — a deterministic byte encoding
+     *  of the unordered containers. */
+    void
+    serializeState(ByteWriter &w) const
+    {
+        std::vector<int> srcs;
+        srcs.reserve(_bySrc.size());
+        for (const auto &[src, win] : _bySrc)
+            srcs.push_back(src);
+        std::sort(srcs.begin(), srcs.end());
+        w.u32(static_cast<std::uint32_t>(srcs.size()));
+        for (int src : srcs) {
+            const Window &win = _bySrc.at(src);
+            w.i64(src);
+            w.u64(win.maxSeen);
+            std::vector<std::uint64_t> seqs(win.seen.begin(),
+                                            win.seen.end());
+            std::sort(seqs.begin(), seqs.end());
+            w.u32(static_cast<std::uint32_t>(seqs.size()));
+            for (std::uint64_t s : seqs)
+                w.u64(s);
+        }
     }
 
   private:

@@ -199,4 +199,42 @@ EventQueue::runAll(Tick limit)
     return _now;
 }
 
+void
+EventQueue::serializeState(ByteWriter &w) const
+{
+    w.u64(_now);
+    w.u64(_nextOrder);
+    w.u64(_executed);
+    w.u64(_size);
+
+    struct Pending
+    {
+        Tick when;
+        std::uint64_t order;
+        std::uint8_t lane;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(_size);
+    for (const Bucket &b : _buckets)
+        for (int lane = 0; lane < numLanes; ++lane)
+            for (const Event *e = b.head[std::size_t(lane)]; e;
+                 e = e->next)
+                pending.push_back({e->when, e->order, e->lane});
+    for (const Event *e : _overflow)
+        pending.push_back({e->when, e->order, e->lane});
+
+    // Scheduling order is globally unique, so sorting by it yields
+    // one canonical enumeration regardless of which bucket or heap
+    // slot an event currently occupies.
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending &a, const Pending &b) {
+                  return a.order < b.order;
+              });
+    for (const Pending &p : pending) {
+        w.u64(p.when);
+        w.u64(p.order);
+        w.u8(p.lane);
+    }
+}
+
 } // namespace wb

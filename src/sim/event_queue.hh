@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/bytes.hh"
 #include "sim/callback.hh"
 #include "sim/types.hh"
 
@@ -111,6 +112,17 @@ class EventQueue
 
     /** Total number of events executed since construction. */
     std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Snapshot witness of the calendar's observable shape: clock,
+     * tie-breaker counter, executed count, and every pending event
+     * as a (when, lane, order) triple sorted by scheduling order.
+     * Callback closures are deliberately NOT serialised — they hold
+     * captured component pointers and cannot be; restore re-creates
+     * them by deterministic replay and this witness proves the
+     * replayed calendar is byte-identical (docs/CHECKPOINT.md).
+     */
+    void serializeState(ByteWriter &w) const;
 
   private:
     /** Calendar width: one bucket per tick, power of two. Events

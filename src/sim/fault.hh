@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/bytes.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -146,6 +147,20 @@ class FaultInjector
     std::uint64_t duplicated() const { return _duplicated; }
     std::uint64_t delayed() const { return _delayed; }
     std::uint64_t reordered() const { return _reordered; }
+
+    /** Snapshot witness: RNG stream position + every counter that
+     *  feeds future decisions (docs/CHECKPOINT.md). */
+    void
+    serializeState(ByteWriter &w) const
+    {
+        for (std::uint64_t word : _rng.stateWords())
+            w.u64(word);
+        w.u32(_burstLeft);
+        w.u64(_dropped);
+        w.u64(_duplicated);
+        w.u64(_delayed);
+        w.u64(_reordered);
+    }
 
   private:
     FaultConfig _cfg;

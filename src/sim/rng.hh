@@ -8,6 +8,7 @@
 #ifndef WB_SIM_RNG_HH
 #define WB_SIM_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace wb
@@ -79,6 +80,14 @@ class Rng
     uniform()
     {
         return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Raw generator state, in word order (snapshot witness: two
+     *  streams are at the same point iff these words match). */
+    std::array<std::uint64_t, 4>
+    stateWords() const
+    {
+        return {_state[0], _state[1], _state[2], _state[3]};
     }
 
   private:

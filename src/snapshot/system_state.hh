@@ -1,0 +1,70 @@
+/**
+ * @file
+ * System-level snapshot orchestration.
+ *
+ * A snapshot is a *witness* of the complete simulated state at one
+ * tick, not a warm-start image: the calendar queue holds arbitrary
+ * closures that cannot be serialised, so restore works by verified
+ * deterministic re-execution — rebuild the system cold from the same
+ * config and workload, replay to the snapshot tick, then byte-verify
+ * every section against the witness (docs/CHECKPOINT.md). A
+ * divergence means the build is nondeterministic (or the file lies
+ * about its config), and is reported section by section.
+ */
+
+#ifndef WB_SNAPSHOT_SYSTEM_STATE_HH
+#define WB_SNAPSHOT_SYSTEM_STATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "snapshot/snapshot.hh"
+
+namespace wb
+{
+
+class System;
+struct SystemConfig;
+
+/** Stable fingerprint of every simulation-relevant config field.
+ *  Restore refuses a witness whose fingerprint does not match the
+ *  rebuilt system's config (wrong-config detection). */
+std::uint64_t configFingerprint(const SystemConfig &cfg);
+
+/** Stable fingerprint of the workload (per-thread instruction
+ *  streams plus initial memory image). */
+std::uint64_t workloadFingerprint(const Workload &workload);
+
+/**
+ * Capture the full simulated state of @p sys at its current tick.
+ *
+ * Sections: event-queue, memory, network, fault (present only when
+ * fault injection is armed), core<i>/l1<i> per core, llc<b> per
+ * bank, and the stat-registry dump. The TSO checker and
+ * observability ring are deliberately excluded: neither feeds back
+ * into simulated state, and the checker's history is unbounded.
+ *
+ * @param workload_fp caller-computed workloadFingerprint() — the
+ *        System keeps only the padded per-core programs, not the
+ *        original workload.
+ */
+SnapshotFile buildSnapshot(System &sys, std::uint64_t workload_fp);
+
+/**
+ * Compare @p sys's live state against witness @p snap section by
+ * section.
+ *
+ * @return names of mismatching/missing sections; empty on a
+ *         byte-identical match. The tick and fingerprints are
+ *         reported as pseudo-sections "tick", "config-fingerprint"
+ *         and "workload-fingerprint".
+ */
+std::vector<std::string> verifySnapshot(System &sys,
+                                        std::uint64_t workload_fp,
+                                        const SnapshotFile &snap);
+
+} // namespace wb
+
+#endif // WB_SNAPSHOT_SYSTEM_STATE_HH

@@ -177,9 +177,18 @@ writeCrashReport(std::ostream &os, System &sys,
 ClassifiedRun
 runClassified(System &sys, const std::string &crash_dump_path)
 {
+    return runClassified(
+        sys, [&sys] { return sys.run(); }, crash_dump_path);
+}
+
+ClassifiedRun
+runClassified(System &sys,
+              const std::function<SimResults()> &run_fn,
+              const std::string &crash_dump_path)
+{
     ClassifiedRun out;
     try {
-        out.results = sys.run();
+        out.results = run_fn();
         if (out.results.tsoViolations > 0) {
             out.outcome = RunOutcome::TsoViolation;
             out.verdict = "tso-violation";

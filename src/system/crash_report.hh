@@ -20,6 +20,7 @@
 #ifndef WB_SYSTEM_CRASH_REPORT_HH
 #define WB_SYSTEM_CRASH_REPORT_HH
 
+#include <functional>
 #include <ostream>
 #include <string>
 
@@ -75,6 +76,17 @@ void writeCrashReport(std::ostream &os, System &sys,
  */
 ClassifiedRun runClassified(System &sys,
                             const std::string &crash_dump_path = "");
+
+/**
+ * As above, but @p run_fn drives the simulation instead of a plain
+ * sys.run() — checkpoint/restore wraps the replay + verify + resume
+ * sequence in it so snapshot divergences are classified (and crash-
+ * dumped) exactly like any other panic. @p run_fn must return the
+ * final SimResults; throws are classified as Panic.
+ */
+ClassifiedRun runClassified(System &sys,
+                            const std::function<SimResults()> &run_fn,
+                            const std::string &crash_dump_path);
 
 } // namespace wb
 

@@ -1,5 +1,6 @@
 #include "system/system.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdarg>
 #include <cstdio>
@@ -201,12 +202,26 @@ System::sampleTimeline()
 SimResults
 System::run()
 {
-    _lastProgress = _cycle;
-    _lastCommits = 0;
-    while (_cycle < _cfg.maxCycles) {
+    runToCycle(_cfg.maxCycles);
+    return finishRun();
+}
+
+bool
+System::runToCycle(Tick target)
+{
+    // Watchdog baselines are initialised exactly once so a
+    // pause/resume sequence steps through the same states as an
+    // uninterrupted run (checkpoint witnesses depend on this).
+    if (!_runStarted) {
+        _runStarted = true;
+        _lastProgress = _cycle;
+        _lastCommits = 0;
+    }
+    const Tick stop = std::min(target, _cfg.maxCycles);
+    while (_cycle < stop) {
         step();
         if (allDone())
-            break;
+            return false;
 
         // Deadlock watchdog: global commit progress must continue.
         std::uint64_t commits = 0;
@@ -224,7 +239,7 @@ System::run()
                              _cfg.watchdogCycles),
                          static_cast<unsigned long long>(_cycle));
             dumpStateToStderr();
-            break;
+            return false;
         }
 
         // Per-transaction watchdog: a single wedged MSHR or
@@ -233,9 +248,18 @@ System::run()
         if (_cfg.watchdogPollCycles &&
             _cycle % _cfg.watchdogPollCycles == 0 &&
             pollTransactionAges())
-            break;
+            return false;
     }
 
+    // Reached the pause target with the simulation still live —
+    // unless the target was the cycle cap itself, which ends the
+    // run (finishRun() classifies it).
+    return _cycle < _cfg.maxCycles;
+}
+
+SimResults
+System::finishRun()
+{
     // Record the cycle the workload finished (or wedged) at before
     // the teardown drain, so reported performance is comparable
     // whether or not a drain was needed.

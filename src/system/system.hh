@@ -180,8 +180,27 @@ class System
     System(const SystemConfig &cfg, const Workload &workload);
     ~System();
 
-    /** Run to completion (or watchdog / cycle cap) and summarise. */
+    /** Run to completion (or watchdog / cycle cap) and summarise.
+     *  Equivalent to runToCycle(maxCycles) + finishRun(). */
     SimResults run();
+
+    /**
+     * Run until cycle @p target, pausing there if the simulation is
+     * still live. Callable repeatedly; watchdog state carries over,
+     * so a paused-and-resumed run steps through exactly the same
+     * states as an uninterrupted one (checkpoint/restore relies on
+     * this — docs/CHECKPOINT.md).
+     *
+     * @return true when paused at @p target with more to run;
+     *         false when the run ended (all threads halted, a
+     *         watchdog fired, or the cycle cap was reached) —
+     *         call finishRun() then.
+     */
+    bool runToCycle(Tick target);
+
+    /** Teardown drain + final classification and summary for a run
+     *  driven by runToCycle(). run() == runToCycle(cap) + this. */
+    SimResults finishRun();
 
     /** Advance exactly @p n cycles (for tests). */
     void step(Tick n = 1);
@@ -305,6 +324,7 @@ class System
     bool _txnDumped = false;
     std::uint64_t _lastCommits = 0;
     Tick _lastProgress = 0;
+    bool _runStarted = false; //!< watchdog baselines initialised
     /** Previous per-vnet flit-hop totals, so timeline rows carry
      *  per-period deltas (link utilization) instead of a running
      *  total. */

@@ -20,23 +20,40 @@
  * deadlock/incomplete.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "campaign/campaign_aggregator.hh"
 #include "campaign/campaign_runner.hh"
 #include "campaign/campaign_spec.hh"
 #include "campaign/fault_invariants.hh"
+#include "campaign/job_journal.hh"
+#include "campaign/result_cache.hh"
 
 namespace
 {
 
 using namespace wb;
+
+/** SIGINT/SIGTERM request a graceful stop: workers finish (and
+ *  journal) their in-flight jobs, then the campaign exits with the
+ *  resumable code 5. std::atomic<bool> is lock-free here, so the
+ *  handler is async-signal-safe. */
+std::atomic<bool> g_stop{false};
+
+void
+onStopSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
 
 void
 usage()
@@ -70,9 +87,21 @@ usage()
         "                    (docs/RESILIENCE.md)\n"
         "  --strict          without --check-faults, deadlocks and\n"
         "                    incomplete runs also fail\n"
+        "  --resume DIR      resume an interrupted/killed campaign\n"
+        "                    from DIR's write-ahead journal: replay\n"
+        "                    recorded jobs, run only the rest. The\n"
+        "                    spec and overrides come from the\n"
+        "                    journal; aggregate output is byte-\n"
+        "                    identical to an uninterrupted run\n"
+        "  --cache-dir DIR   content-addressed result cache\n"
+        "                    (default: OUT/cache when --out is set)\n"
+        "  --no-cache        disable the result cache\n"
         "  --dry-run         print the expanded job list and exit\n"
         "  --no-progress     disable the live progress line\n"
-        "exit codes: 0 campaign holds, 1 failures, 64 usage\n");
+        "SIGINT/SIGTERM finish in-flight jobs, journal them, and\n"
+        "exit 5 (resumable with --resume).\n"
+        "exit codes: 0 campaign holds, 1 failures, 5 interrupted\n"
+        "            (resumable), 64 usage\n");
 }
 
 void
@@ -107,6 +136,9 @@ main(int argc, char **argv)
     bool progress = true;
     bool recovery = false;
     bool verify_equivalence = false;
+    std::string resume_dir;
+    std::string cache_dir;
+    bool no_cache = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -144,6 +176,12 @@ main(int argc, char **argv)
             verify_equivalence = true;
         else if (a == "--strict")
             strict = true;
+        else if (a == "--resume")
+            resume_dir = next();
+        else if (a == "--cache-dir")
+            cache_dir = next();
+        else if (a == "--no-cache")
+            no_cache = true;
         else if (a == "--dry-run")
             dry_run = true;
         else if (a == "--no-progress")
@@ -154,7 +192,34 @@ main(int argc, char **argv)
         }
     }
 
-    if (spec_path.empty() == builtin.empty()) {
+    // --resume: the spec and its CLI overrides come from the
+    // journal header, so the rebuilt job list is identical to the
+    // interrupted campaign's.
+    JobJournal::LoadResult journal_load;
+    if (!resume_dir.empty()) {
+        if (!spec_path.empty() || !builtin.empty()) {
+            std::fprintf(stderr, "--resume takes the spec from the "
+                                 "journal; drop --spec/--builtin\n");
+            return 64;
+        }
+        std::string err;
+        if (!JobJournal::load(resume_dir + "/journal.wbj",
+                              journal_load, err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 64;
+        }
+        const JournalHeader &h = journal_load.header;
+        if (h.specKind == "builtin")
+            builtin = h.specText;
+        else
+            spec_path = "<journal>"; // parsed from specText below
+        seeds_override = int(h.seedsOverride);
+        recovery = h.recovery;
+        verify_equivalence = h.verifyEquivalence;
+        check_faults = h.checkFaults;
+        strict = h.strict;
+        out_dir = resume_dir;
+    } else if (spec_path.empty() == builtin.empty()) {
         std::fprintf(stderr, "need exactly one of --spec / "
                              "--builtin\n\n");
         usage();
@@ -162,19 +227,40 @@ main(int argc, char **argv)
     }
 
     CampaignSpec spec;
+    std::string spec_kind, spec_text;
     if (!builtin.empty()) {
         if (builtin == "fault") {
             spec = faultCampaignSpec();
-            check_faults = true;
+            if (resume_dir.empty())
+                check_faults = true;
         } else {
             std::fprintf(stderr, "unknown builtin '%s' "
                                  "(available: fault)\n",
                          builtin.c_str());
             return 64;
         }
+        spec_kind = "builtin";
+        spec_text = builtin;
     } else {
+        // Keep the manifest text: the journal header embeds it so
+        // --resume needs nothing but the output directory.
+        if (spec_path == "<journal>") {
+            spec_text = journal_load.header.specText;
+        } else {
+            std::ifstream mf(spec_path);
+            if (!mf) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             spec_path.c_str());
+                return 64;
+            }
+            std::ostringstream ss;
+            ss << mf.rdbuf();
+            spec_text = ss.str();
+        }
+        spec_kind = "manifest";
         std::string err;
-        if (!loadCampaignSpec(spec_path, spec, err)) {
+        std::istringstream in(spec_text);
+        if (!parseCampaignSpec(in, spec, err)) {
             std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
                          err.c_str());
             return 64;
@@ -206,17 +292,105 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!resume_dir.empty()) {
+        // A journal only resumes the exact campaign it recorded:
+        // replayed results must slot into the same job list.
+        const std::uint64_t fp = jobListFingerprint(spec.expand());
+        if (fp != journal_load.header.specFingerprint) {
+            std::fprintf(stderr,
+                         "%s/journal.wbj: job list fingerprint "
+                         "mismatch (journal %016llx, spec %016llx); "
+                         "refusing to resume\n",
+                         resume_dir.c_str(),
+                         static_cast<unsigned long long>(
+                             journal_load.header.specFingerprint),
+                         static_cast<unsigned long long>(fp));
+            return 64;
+        }
+    }
+
     CampaignRunner::Options opts;
     opts.jobs = jobs;
     opts.outDir = out_dir;
     opts.progress = progress;
     opts.verifyEquivalence = verify_equivalence;
+    opts.stopFlag = &g_stop;
+    opts.journalPath =
+        out_dir.empty() ? "" : out_dir + "/journal.wbj";
+    opts.journalHeader.specKind = spec_kind;
+    opts.journalHeader.specText = spec_text;
+    opts.journalHeader.seedsOverride = seeds_override;
+    opts.journalHeader.recovery = recovery;
+    opts.journalHeader.verifyEquivalence = verify_equivalence;
+    opts.journalHeader.checkFaults = check_faults;
+    opts.journalHeader.strict = strict;
+    if (!resume_dir.empty())
+        opts.preloaded = &journal_load.jobs;
+    if (!no_cache)
+        opts.cacheDir = !cache_dir.empty()
+                            ? cache_dir
+                            : (out_dir.empty()
+                                   ? std::string()
+                                   : out_dir + "/cache");
     CampaignRunner runner(spec, opts);
+
+    struct sigaction sa = {};
+    sa.sa_handler = onStopSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 
     std::printf("campaign %s: %zu jobs on %d worker%s\n",
                 spec.name.c_str(), spec.jobCount(),
                 runner.workers(), runner.workers() == 1 ? "" : "s");
+    if (!resume_dir.empty())
+        std::printf("resume: %zu of %zu jobs replayed from journal"
+                    "%s\n",
+                    journal_load.jobs.size(), spec.jobCount(),
+                    journal_load.tornDropped
+                        ? " (torn tail record dropped)"
+                        : "");
     const CampaignResult result = runner.run();
+
+    // Durability/cache health goes to stderr and a sidecar file,
+    // never into the aggregate reports — those must stay
+    // byte-identical across cold, cached, and resumed runs.
+    if (!opts.cacheDir.empty() || !opts.journalPath.empty())
+        std::fprintf(stderr,
+                     "durability: %zu journaled, %zu cache hit%s, "
+                     "%zu miss%s\n",
+                     result.journaled, result.cacheHits,
+                     result.cacheHits == 1 ? "" : "s",
+                     result.cacheMisses,
+                     result.cacheMisses == 1 ? "" : "es");
+    if (!out_dir.empty()) {
+        std::ofstream d(out_dir + "/durability.json");
+        if (d)
+            d << "{\n"
+              << "  \"interrupted\": "
+              << (result.interrupted ? "true" : "false") << ",\n"
+              << "  \"jobsDone\": " << result.summary.done << ",\n"
+              << "  \"jobsTotal\": " << result.summary.total
+              << ",\n"
+              << "  \"journaled\": " << result.journaled << ",\n"
+              << "  \"cacheHits\": " << result.cacheHits << ",\n"
+              << "  \"cacheMisses\": " << result.cacheMisses
+              << ",\n"
+              << "  \"tornDropped\": " << journal_load.tornDropped
+              << "\n}\n";
+    }
+
+    if (result.interrupted) {
+        std::printf("\ninterrupted: %zu/%zu jobs done",
+                    result.summary.done, result.summary.total);
+        if (!out_dir.empty())
+            std::printf("; resume with: wbcampaign --resume %s",
+                        out_dir.c_str());
+        else
+            std::printf(" (no --out directory, so no journal "
+                        "was kept; not resumable)");
+        std::printf("\n");
+        return 5;
+    }
 
     printMatrix(spec, result);
     const CampaignSummary &s = result.summary;

@@ -29,6 +29,8 @@
 
 #include "obs/perfetto.hh"
 #include "obs/timeline.hh"
+#include "sim/log.hh"
+#include "snapshot/system_state.hh"
 #include "system/crash_report.hh"
 #include "system/report.hh"
 #include "system/system.hh"
@@ -79,11 +81,24 @@ usage()
         "                    sample occupancy gauges every PERIOD\n"
         "                    cycles into FILE (.json => JSON,\n"
         "                    else CSV)\n"
+        "  --checkpoint-at TICK\n"
+        "                    pause at cycle TICK, write a state\n"
+        "                    snapshot, then continue to completion\n"
+        "  --checkpoint FILE snapshot output path (default\n"
+        "                    checkpoint.wbsnap)\n"
+        "  --restore FILE    restore from a snapshot: rebuild the\n"
+        "                    same config+workload, replay to the\n"
+        "                    snapshot tick, byte-verify every state\n"
+        "                    section, then continue (docs/\n"
+        "                    CHECKPOINT.md). Corrupt or mismatched\n"
+        "                    snapshots exit 2; replay divergence\n"
+        "                    is a panic (exit 4)\n"
         "  --dump-stats      print every counter after the run\n"
         "  --json FILE       write a JSON report (- for stdout)\n"
         "  --list            list benchmark profiles and exit\n"
-        "exit codes: 0 ok, 2 TSO violation, 3 deadlock/hang,\n"
-        "            4 internal panic, 64 usage error\n");
+        "exit codes: 0 ok, 2 TSO violation / corrupt snapshot,\n"
+        "            3 deadlock/hang, 4 internal panic,\n"
+        "            64 usage error\n");
 }
 
 bool
@@ -196,6 +211,9 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string timeline_path;
     Tick timeline_period = 0;
+    Tick checkpoint_at = 0;
+    std::string checkpoint_path = "checkpoint.wbsnap";
+    std::string restore_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -282,7 +300,24 @@ main(int argc, char **argv)
                              "--timeline PERIOD must be >= 1\n");
                 return 64;
             }
-        } else if (a == "--json")
+        } else if (a == "--checkpoint-at" ||
+                   a.rfind("--checkpoint-at=", 0) == 0) {
+            const std::string v =
+                a == "--checkpoint-at"
+                    ? next()
+                    : a.substr(std::strlen("--checkpoint-at="));
+            checkpoint_at = Tick(std::strtoull(v.c_str(),
+                                               nullptr, 0));
+            if (checkpoint_at == 0) {
+                std::fprintf(stderr,
+                             "--checkpoint-at needs TICK >= 1\n");
+                return 64;
+            }
+        } else if (a == "--checkpoint")
+            checkpoint_path = next();
+        else if (a == "--restore")
+            restore_path = next();
+        else if (a == "--json")
             json_path = next();
         else if (a == "--list") {
             std::printf("benchmark profiles:\n");
@@ -352,7 +387,117 @@ main(int argc, char **argv)
         std::printf("faults:   %s\n", cfg.faults.spec().c_str());
 
     System sys(cfg, wl);
-    const ClassifiedRun cr = runClassified(sys, crash_dump);
+
+    const std::uint64_t wl_fp = workloadFingerprint(wl);
+
+    // Load and sanity-check the restore witness before the run so
+    // hostile or mismatched input is rejected up front (exit 2).
+    SnapshotFile restore_snap;
+    if (!restore_path.empty()) {
+        try {
+            restore_snap = SnapshotFile::load(restore_path);
+        } catch (const SnapshotError &e) {
+            std::fprintf(stderr, "restore failed: %s\n", e.what());
+            if (!crash_dump.empty()) {
+                std::ofstream dump(crash_dump);
+                if (dump)
+                    writeCrashReport(dump, sys, "snapshot-corrupt",
+                                     e.what());
+            }
+            return 2;
+        }
+        // Compare against the System's own config copy: the
+        // constructor normalises derived fields (bank count, mesh
+        // shape), and the snapshot records the normalised form.
+        if (restore_snap.configFingerprint !=
+                configFingerprint(sys.config()) ||
+            restore_snap.workloadFingerprint != wl_fp) {
+            const std::string detail =
+                "snapshot was taken under a different config or "
+                "workload (fingerprint mismatch) — pass the same "
+                "command-line options as the checkpointing run";
+            std::fprintf(stderr, "restore failed: %s\n",
+                         detail.c_str());
+            if (!crash_dump.empty()) {
+                std::ofstream dump(crash_dump);
+                if (dump)
+                    writeCrashReport(dump, sys,
+                                     "snapshot-mismatch", detail);
+            }
+            return 2;
+        }
+        if (checkpoint_at && checkpoint_at <= restore_snap.tick) {
+            std::fprintf(stderr, "--checkpoint-at must be later "
+                                 "than the restored tick\n");
+            return 64;
+        }
+    }
+
+    // Drive the run: optional verified replay to the restore tick,
+    // optional pause to write a checkpoint, then to completion.
+    // Runs inside runClassified() so replay divergence is
+    // classified (and crash-dumped) like any other panic.
+    auto drive = [&]() -> SimResults {
+        bool live = true;
+        if (!restore_path.empty()) {
+            live = sys.runToCycle(restore_snap.tick);
+            if (sys.cycle() != restore_snap.tick)
+                panic("restore: replay ended at cycle %llu before "
+                      "the snapshot tick %llu — the snapshot does "
+                      "not describe this build/config",
+                      static_cast<unsigned long long>(sys.cycle()),
+                      static_cast<unsigned long long>(
+                          restore_snap.tick));
+            const auto bad =
+                verifySnapshot(sys, wl_fp, restore_snap);
+            if (!bad.empty()) {
+                std::string list;
+                for (const auto &s : bad) {
+                    if (!list.empty())
+                        list += ", ";
+                    list += s;
+                }
+                panic("restore: replayed state diverges from the "
+                      "snapshot witness at tick %llu in: %s",
+                      static_cast<unsigned long long>(
+                          restore_snap.tick),
+                      list.c_str());
+            }
+            std::fprintf(stderr,
+                         "restore: state verified at cycle %llu "
+                         "(%zu sections), continuing\n",
+                         static_cast<unsigned long long>(
+                             sys.cycle()),
+                         restore_snap.sections.size());
+        }
+        if (live && checkpoint_at > sys.cycle()) {
+            live = sys.runToCycle(checkpoint_at);
+            if (live) {
+                SnapshotFile snap = buildSnapshot(sys, wl_fp);
+                snap.save(checkpoint_path);
+                std::fprintf(
+                    stderr,
+                    "checkpoint written to %s at cycle %llu "
+                    "(%zu sections)\n",
+                    checkpoint_path.c_str(),
+                    static_cast<unsigned long long>(sys.cycle()),
+                    snap.sections.size());
+            } else {
+                std::fprintf(
+                    stderr,
+                    "warning: run ended at cycle %llu before "
+                    "--checkpoint-at %llu; no snapshot written\n",
+                    static_cast<unsigned long long>(sys.cycle()),
+                    static_cast<unsigned long long>(
+                        checkpoint_at));
+            }
+        }
+        if (live)
+            sys.runToCycle(cfg.maxCycles);
+        return sys.finishRun();
+    };
+
+    const ClassifiedRun cr = runClassified(sys, drive, crash_dump);
     const SimResults &r = cr.results;
 
     std::printf("\n%-24s %llu\n", "cycles",
