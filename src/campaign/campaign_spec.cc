@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/log.hh"
+#include "trace/trace_workload.hh"
 #include "workload/benchmarks.hh"
 #include "workload/synthetic.hh"
 
@@ -141,6 +142,11 @@ CampaignSpec::workloadFor(const JobSpec &job) const
 {
     if (workloadFactory)
         return workloadFactory(job, *this);
+    // `trace=FILE`: replay a recorded trace. A TraceError here (file
+    // vanished or corrupted since validate()) propagates out of the
+    // job and is classified as an infrastructure failure.
+    if (job.workload.rfind("trace=", 0) == 0)
+        return loadTraceWorkload(job.workload.substr(6));
     SyntheticParams p = benchmarkProfile(job.workload, scale);
     if (!useProfileSeed)
         p.seed = job.seed;
@@ -183,6 +189,16 @@ CampaignSpec::validate() const
         return "retries must be >= 0";
     if (!workloadFactory)
         for (const std::string &wl : workloads) {
+            if (wl.rfind("trace=", 0) == 0) {
+                // Existence check only; full validation (checksums,
+                // semantic limits) happens when the job loads it.
+                const std::string path = wl.substr(6);
+                std::ifstream f(path, std::ios::binary);
+                if (!f)
+                    return "trace file '" + path +
+                           "' does not exist";
+                continue;
+            }
             bool known = false;
             for (const std::string &n : benchmarkNames())
                 if (n == wl)

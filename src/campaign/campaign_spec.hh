@@ -71,6 +71,11 @@ struct CampaignSpec
     std::string name = "campaign";
 
     // -- axes ----------------------------------------------------
+    /** Workload axis entries are benchmark profile names
+     *  (benchmarkNames()) or `trace=FILE` — a recorded `.wbt` trace
+     *  replayed through the detailed model (docs/TRACES.md). Trace
+     *  entries ignore the per-job seed: the workload is fully
+     *  determined by the file. */
     std::vector<std::string> workloads;
     std::vector<CommitMode> modes{CommitMode::OooWB};
     std::vector<CoreClass> classes{CoreClass::SLM};

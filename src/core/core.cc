@@ -718,6 +718,8 @@ Core::commit()
                 ++_committed;
                 WB_EVENT(recorder(), now(), EvKind::Commit,
                          EvUnit::Core, _id);
+                if (_commitHook)
+                    _commitHook(it->first, e.pc, e.in, invalidAddr);
                 _rob.erase(it);
             }
             return;
@@ -845,6 +847,9 @@ Core::retireEntry(RobEntry &e)
     ++_committed;
     WB_EVENT(recorder(), now(), EvKind::Commit, EvUnit::Core, _id,
              e.addr);
+    if (_commitHook)
+        _commitHook(e.seq, e.pc, e.in,
+                    isMem(op) ? e.addr : invalidAddr);
 }
 
 // ---------------------------------------------------------------
@@ -913,7 +918,7 @@ Core::dumpState(std::ostream &os) const
         if (++n > 6)
             break;
         os << "  rob seq=" << seq << " pc=" << e.pc << " "
-           << opcodeName(e.in.op) << " iss=" << e.issued
+           << disasm(e.in) << " iss=" << e.issued
            << " exec=" << e.executed << " addrRdy=" << e.addrReady
            << " src=" << e.srcReady[0] << e.srcReady[1] << "\n";
     }

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <deque>
 #include <map>
@@ -96,6 +97,24 @@ class Core : public SimObject, public CoreMemIf
          const Program *program);
 
     void setChecker(TsoChecker *checker) { _checker = checker; }
+
+    /**
+     * Observer of every committed (retired) instruction:
+     * (seq, pc, instruction, effective address). @p ea is
+     * invalidAddr for non-memory instructions. Commit can be out of
+     * program order in the OoO modes, but seq order *is* program
+     * order among committed instructions, so a recorder sorting by
+     * seq reconstructs the per-thread dynamic stream exactly
+     * (src/trace/trace_recorder.hh). Squashed instructions never
+     * reach the hook. Unset (the default) costs one branch per
+     * retire.
+     */
+    using CommitHook = std::function<void(
+        InstSeqNum seq, int pc, const Instr &in, Addr ea)>;
+    void setCommitHook(CommitHook hook)
+    {
+        _commitHook = std::move(hook);
+    }
 
     /** One pipeline cycle. */
     void tick() override;
@@ -264,6 +283,7 @@ class Core : public SimObject, public CoreMemIf
     L1Controller *_l1;
     const Program *_prog;
     TsoChecker *_checker = nullptr;
+    CommitHook _commitHook;
 
     // architectural state
     std::array<std::uint64_t, numRegs> _archRegs{};

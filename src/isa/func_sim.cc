@@ -47,7 +47,7 @@ FuncSim::step()
     if (live.empty())
         return false;
     int t = live[_rng.below(live.size())];
-    execOne(_threads[std::size_t(t)]);
+    execOne(t, _threads[std::size_t(t)]);
     ++_retired;
     return true;
 }
@@ -67,7 +67,7 @@ FuncSim::run(std::uint64_t max_steps)
 }
 
 void
-FuncSim::execOne(ThreadState &t)
+FuncSim::execOne(int thread, ThreadState &t)
 {
     assert(!t.halted);
     if (t.pc < 0 || std::size_t(t.pc) >= t.prog->size()) {
@@ -77,6 +77,8 @@ FuncSim::execOne(ThreadState &t)
     const Instr &in = (*t.prog)[std::size_t(t.pc)];
     const std::uint64_t a = t.regs[in.src1];
     const std::uint64_t b = t.regs[in.src2];
+    const int pc = t.pc;
+    Addr ea = invalidAddr;
     int next_pc = t.pc + 1;
 
     switch (in.op) {
@@ -85,16 +87,20 @@ FuncSim::execOne(ThreadState &t)
         break;
       case Opcode::Halt:
         t.halted = true;
+        if (_retireHook)
+            _retireHook(thread, pc, in, invalidAddr);
         return;
       case Opcode::Ld:
-        t.regs[in.dst] = readMem(a + std::uint64_t(in.imm));
+        ea = wordOf(a + std::uint64_t(in.imm));
+        t.regs[in.dst] = readMem(ea);
         break;
       case Opcode::St:
-        _mem[wordOf(a + std::uint64_t(in.imm))] = b;
+        ea = wordOf(a + std::uint64_t(in.imm));
+        _mem[ea] = b;
         break;
       case Opcode::AmoSwap:
       case Opcode::AmoAdd: {
-        const Addr ea = wordOf(a + std::uint64_t(in.imm));
+        ea = wordOf(a + std::uint64_t(in.imm));
         const std::uint64_t old = readMem(ea);
         _mem[ea] = amoResult(in.op, old, b);
         t.regs[in.dst] = old;
@@ -113,6 +119,8 @@ FuncSim::execOne(ThreadState &t)
         break;
     }
     t.pc = next_pc;
+    if (_retireHook)
+        _retireHook(thread, pc, in, ea);
 }
 
 } // namespace wb

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,16 @@ class FuncSim
     std::uint64_t instructionsRetired() const { return _retired; }
     bool halted(int thread) const;
 
+    /**
+     * Observer of every retired instruction, in per-thread program
+     * order: (thread, pc, instruction, effective address). @p ea is
+     * invalidAddr for non-memory instructions. The trace recorder's
+     * functional path hooks here (src/trace/trace_recorder.hh).
+     */
+    using RetireHook = std::function<void(int thread, int pc,
+                                          const Instr &in, Addr ea)>;
+    void setRetireHook(RetireHook hook) { _retireHook = std::move(hook); }
+
   private:
     struct ThreadState
     {
@@ -51,11 +62,12 @@ class FuncSim
         bool halted = false;
     };
 
-    void execOne(ThreadState &t);
+    void execOne(int thread, ThreadState &t);
 
     std::vector<ThreadState> _threads;
     std::unordered_map<Addr, std::uint64_t> _mem;
     Rng _rng;
+    RetireHook _retireHook;
     std::uint64_t _retired = 0;
 };
 

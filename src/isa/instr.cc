@@ -1,5 +1,7 @@
 #include "isa/instr.hh"
 
+#include <cstdio>
+
 namespace wb
 {
 
@@ -30,6 +32,68 @@ opcodeName(Opcode op)
       case Opcode::Halt: return "halt";
     }
     return "?";
+}
+
+std::string
+disasm(const Instr &in)
+{
+    char buf[64];
+    const char *op = opcodeName(in.op);
+    switch (in.op) {
+      case Opcode::Nop:
+      case Opcode::Fence:
+      case Opcode::Halt:
+        return op;
+      case Opcode::Li:
+        std::snprintf(buf, sizeof(buf), "%s r%d, %lld", op, in.dst,
+                      static_cast<long long>(in.imm));
+        break;
+      case Opcode::Addi:
+      case Opcode::Andi:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, %lld", op,
+                      in.dst, in.src1,
+                      static_cast<long long>(in.imm));
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, r%d", op,
+                      in.dst, in.src1, in.src2);
+        break;
+      case Opcode::Ld:
+        std::snprintf(buf, sizeof(buf), "%s r%d, [r%d%+lld]", op,
+                      in.dst, in.src1,
+                      static_cast<long long>(in.imm));
+        break;
+      case Opcode::St:
+        std::snprintf(buf, sizeof(buf), "%s [r%d%+lld], r%d", op,
+                      in.src1, static_cast<long long>(in.imm),
+                      in.src2);
+        break;
+      case Opcode::AmoSwap:
+      case Opcode::AmoAdd:
+        std::snprintf(buf, sizeof(buf), "%s r%d, [r%d%+lld], r%d",
+                      op, in.dst, in.src1,
+                      static_cast<long long>(in.imm), in.src2);
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, ->%d", op,
+                      in.src1, in.src2, in.target);
+        break;
+      case Opcode::Jmp:
+        std::snprintf(buf, sizeof(buf), "%s ->%d", op, in.target);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s?", op);
+        break;
+    }
+    return buf;
 }
 
 } // namespace wb

@@ -15,6 +15,7 @@
 #define WB_ISA_INSTR_HH
 
 #include <cstdint>
+#include <string>
 
 #include "sim/types.hh"
 
@@ -60,6 +61,20 @@ struct Instr
     std::int64_t imm = 0;
     std::int32_t target = 0; //!< branch/jump destination (pc index)
 };
+
+inline bool
+operator==(const Instr &a, const Instr &b)
+{
+    return a.op == b.op && a.dst == b.dst && a.src1 == b.src1 &&
+           a.src2 == b.src2 && a.imm == b.imm &&
+           a.target == b.target;
+}
+
+inline bool
+operator!=(const Instr &a, const Instr &b)
+{
+    return !(a == b);
+}
 
 inline bool
 isLoad(Opcode op)
@@ -209,6 +224,15 @@ amoResult(Opcode op, std::uint64_t old, std::uint64_t operand)
 }
 
 const char *opcodeName(Opcode op);
+
+/**
+ * Single-instruction pretty-printer: assembler-style text with only
+ * the operands the opcode actually reads or writes, e.g.
+ * "ld r3, [r5+0x10]", "beq r1, r2, ->7", "li r4, 42". Used by
+ * `wbtrace info`, checker/crash-report dumps, and watchdog state
+ * dumps instead of raw opcode integers.
+ */
+std::string disasm(const Instr &in);
 
 } // namespace wb
 

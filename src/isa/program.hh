@@ -27,6 +27,15 @@ struct Workload
     std::string name;
     std::vector<Program> threads;
     std::vector<std::pair<Addr, std::uint64_t>> initMem;
+    /**
+     * Content fingerprint of the `.wbt` trace this workload was
+     * lowered from; 0 for every generator-built workload. Folded
+     * into workloadFingerprint() so the result cache and snapshot
+     * config checks distinguish a replayed trace both from its
+     * synthetic origin (identical programs, fingerprint 0) and from
+     * any other trace (src/trace/trace_workload.hh).
+     */
+    std::uint64_t traceFingerprint = 0;
 };
 
 /**

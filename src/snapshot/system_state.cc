@@ -122,6 +122,11 @@ workloadFingerprint(const Workload &workload)
         w.u64(addr);
         w.u64(value);
     }
+    // Trace-derived workloads fold in the trace's content
+    // fingerprint (0 for generator-built workloads), so a replayed
+    // trace never shares a fingerprint with its synthetic origin or
+    // with any other trace (src/trace/trace_workload.hh).
+    w.u64(workload.traceFingerprint);
     return w.checksum();
 }
 

@@ -88,6 +88,19 @@ writeMsg(JsonWriter &w, const Network::InFlightMsg &m)
 } // namespace
 
 void
+writeLoadFailureReport(std::ostream &os, const std::string &verdict,
+                       const std::string &detail)
+{
+    JsonWriter w(os);
+    w.openObject();
+    w.field("schema", std::string("wbsim-crash-1"));
+    w.field("verdict", verdict);
+    w.field("detail", detail);
+    w.closeObject();
+    os << "\n";
+}
+
+void
 writeCrashReport(std::ostream &os, System &sys,
                  const std::string &verdict,
                  const std::string &detail)

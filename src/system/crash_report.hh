@@ -68,6 +68,18 @@ void writeCrashReport(std::ostream &os, System &sys,
                       const std::string &detail);
 
 /**
+ * Minimal classified report for failures that happen *before* a
+ * System exists — a snapshot or trace file that fails validation on
+ * load. Emits the same "wbsim-crash-1" schema (verdict + detail)
+ * with no machine state, so triage scripts parse both shapes alike.
+ * Used by wbsim for the `snapshot-corrupt` / `trace-corrupt` /
+ * `trace-mismatch` verdicts.
+ */
+void writeLoadFailureReport(std::ostream &os,
+                            const std::string &verdict,
+                            const std::string &detail);
+
+/**
  * Run @p sys to completion, classify the outcome, and — for any
  * outcome other than Ok — write a crash report to
  * @p crash_dump_path (skipped when empty). panic()/fatal() throws

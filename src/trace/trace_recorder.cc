@@ -1,0 +1,100 @@
+#include "trace/trace_recorder.hh"
+
+#include <algorithm>
+
+#include "isa/func_sim.hh"
+#include "snapshot/system_state.hh"
+#include "system/system.hh"
+
+namespace wb
+{
+
+TraceRecorder::TraceRecorder(const Workload &wl, std::string source,
+                             std::uint64_t seed)
+{
+    _trace.name = wl.name;
+    _trace.source = std::move(source);
+    _trace.seed = seed;
+    // Fingerprint of the origin workload with the trace marker
+    // zeroed: re-recording a replayed trace then reproduces the
+    // original header byte-for-byte.
+    Workload origin = wl;
+    origin.traceFingerprint = 0;
+    _trace.workloadFp = workloadFingerprint(origin);
+    _trace.initMem = wl.initMem;
+    _trace.threads.resize(wl.threads.size());
+    for (std::size_t i = 0; i < wl.threads.size(); ++i)
+        _trace.threads[i].code = wl.threads[i];
+    _pending.resize(wl.threads.size());
+}
+
+void
+TraceRecorder::attach(System &sys)
+{
+    const int n = std::min<int>(int(_trace.threads.size()),
+                                sys.numCores());
+    for (int i = 0; i < n; ++i) {
+        sys.core(i).setCommitHook(
+            [this, i](InstSeqNum seq, int pc, const Instr &in,
+                      Addr ea) {
+                recordCommit(i, seq, pc, in, ea);
+            });
+    }
+}
+
+void
+TraceRecorder::recordInOrder(int thread, int pc, const Instr &,
+                             Addr ea)
+{
+    _trace.threads[std::size_t(thread)].exec.push_back(
+        TraceRecord{std::uint32_t(pc), ea});
+}
+
+void
+TraceRecorder::recordCommit(int thread, InstSeqNum seq, int pc,
+                            const Instr &, Addr ea)
+{
+    _pending[std::size_t(thread)].push_back(
+        Buffered{seq, TraceRecord{std::uint32_t(pc), ea}});
+}
+
+TraceFile
+TraceRecorder::finalize()
+{
+    // Commit can be out of program order (OoO modes), but among
+    // committed instructions seq order is program order: a stable
+    // sort by seq reconstructs the per-thread dynamic stream.
+    for (std::size_t t = 0; t < _pending.size(); ++t) {
+        auto &buf = _pending[t];
+        std::sort(buf.begin(), buf.end(),
+                  [](const Buffered &a, const Buffered &b) {
+                      return a.seq < b.seq;
+                  });
+        auto &exec = _trace.threads[t].exec;
+        exec.reserve(exec.size() + buf.size());
+        for (const Buffered &b : buf)
+            exec.push_back(b.rec);
+        buf.clear();
+    }
+    return _trace;
+}
+
+TraceFile
+recordFunctional(const Workload &wl, const std::string &source,
+                 std::uint64_t seed, std::uint64_t max_steps)
+{
+    TraceRecorder rec(wl, source, seed);
+    FuncSim sim(wl, seed);
+    sim.setRetireHook([&rec](int thread, int pc, const Instr &in,
+                             Addr ea) {
+        rec.recordInOrder(thread, pc, in, ea);
+    });
+    if (!sim.run(max_steps))
+        throw TraceError(
+            "trace: functional recording of '" + wl.name +
+            "' did not halt within " + std::to_string(max_steps) +
+            " steps");
+    return rec.finalize();
+}
+
+} // namespace wb

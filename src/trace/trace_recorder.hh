@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic trace recorder.
+ *
+ * A TraceRecorder captures one execution of a Workload into a
+ * TraceFile. Two entry points share the same output shape:
+ *
+ *  - attach(System&) hooks every core's commit stage
+ *    (Core::setCommitHook) for a detailed-model recording
+ *    (`wbsim --record-trace`). OoO cores retire out of program
+ *    order, so commits are buffered as (seq, pc, ea) per thread and
+ *    sorted by sequence number at finalise time — among committed
+ *    (never-squashed) instructions, seq order *is* program order.
+ *
+ *  - recordFunctional() drives the sequentially-consistent reference
+ *    interpreter (FuncSim) under a seed and records its retire
+ *    stream directly; retirement there is already program order.
+ *
+ * Both are deterministic: the same workload + seed (and, for the
+ * detailed path, the same SystemConfig) produce a byte-identical
+ * `.wbt` file, which is what makes `wbtrace diff` a meaningful
+ * regression oracle.
+ */
+
+#ifndef WB_TRACE_TRACE_RECORDER_HH
+#define WB_TRACE_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/trace_format.hh"
+
+namespace wb
+{
+
+class System;
+
+/** Accumulates per-thread commit streams into a TraceFile. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param wl      the workload being executed (static programs
+     *                and initial memory are copied into the trace)
+     * @param source  origin tag: "builtin" | "synthetic" | "litmus"
+     *                | "trace" (a replayed trace being re-recorded)
+     * @param seed    the workload-generation seed, for provenance
+     */
+    TraceRecorder(const Workload &wl, std::string source,
+                  std::uint64_t seed);
+
+    /**
+     * Hook the commit stage of the first threadCount cores of
+     * @p sys. Cores beyond the workload's thread count (padded with
+     * empty programs) are ignored. The recorder must outlive the
+     * System.
+     */
+    void attach(System &sys);
+
+    /** Record one retired instruction of @p thread directly, in
+     *  program order (the functional path). */
+    void recordInOrder(int thread, int pc, const Instr &in, Addr ea);
+
+    /** Record one committed instruction of @p thread, possibly out
+     *  of program order; ordered by @p seq at finalise time. */
+    void recordCommit(int thread, InstSeqNum seq, int pc,
+                      const Instr &in, Addr ea);
+
+    /** Sort buffered commits and return the finished trace. */
+    TraceFile finalize();
+
+  private:
+    struct Buffered
+    {
+        InstSeqNum seq;
+        TraceRecord rec;
+    };
+
+    TraceFile _trace;
+    std::vector<std::vector<Buffered>> _pending; //!< per thread
+};
+
+/**
+ * Execute @p wl functionally (FuncSim, sequential consistency,
+ * deterministic under @p seed) and return the recorded trace.
+ * Throws TraceError if the run does not complete within
+ * @p max_steps retired instructions.
+ */
+TraceFile recordFunctional(const Workload &wl,
+                           const std::string &source,
+                           std::uint64_t seed,
+                           std::uint64_t max_steps = 10'000'000);
+
+} // namespace wb
+
+#endif // WB_TRACE_TRACE_RECORDER_HH

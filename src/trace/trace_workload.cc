@@ -1,0 +1,44 @@
+#include "trace/trace_workload.hh"
+
+#include "sim/bytes.hh"
+#include "system/system.hh"
+
+namespace wb
+{
+
+Workload
+traceWorkload(const TraceFile &trace)
+{
+    Workload wl;
+    wl.name = trace.name;
+    wl.threads.reserve(trace.threads.size());
+    for (const TraceThread &t : trace.threads)
+        wl.threads.push_back(t.code);
+    wl.initMem = trace.initMem;
+    wl.traceFingerprint = trace.contentFingerprint();
+    return wl;
+}
+
+Workload
+loadTraceWorkload(const std::string &path)
+{
+    return traceWorkload(TraceFile::load(path));
+}
+
+std::uint64_t
+traceSafeStatFingerprint(const SimResults &r)
+{
+    ByteWriter w;
+    w.b(r.completed);
+    w.b(r.deadlocked);
+    w.str(r.deadlockReason);
+    w.u64(r.cycles);
+    w.u64(r.instructions);
+    w.u64(r.loads);
+    w.u64(r.stores);
+    w.u64(r.atomics);
+    w.u64(r.tsoViolations);
+    return w.checksum();
+}
+
+} // namespace wb

@@ -25,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "obs/perfetto.hh"
@@ -34,6 +35,8 @@
 #include "system/crash_report.hh"
 #include "system/report.hh"
 #include "system/system.hh"
+#include "trace/trace_recorder.hh"
+#include "trace/trace_workload.hh"
 #include "workload/benchmarks.hh"
 #include "workload/litmus.hh"
 
@@ -47,9 +50,11 @@ usage()
 {
     std::printf(
         "usage: wbsim [options]\n"
-        "  --workload NAME   benchmark profile (see --list) or a\n"
-        "                    litmus: table1, table3, sb,\n"
-        "                    sb-fence, lb, iriw, corr\n"
+        "  --workload NAME   benchmark profile (see --list), a\n"
+        "                    litmus (table1, table3, sb, sb-fence,\n"
+        "                    lb, iriw, corr), or trace=FILE to\n"
+        "                    replay a recorded .wbt trace\n"
+        "                    (docs/TRACES.md)\n"
         "  --mode M          in-order | ooo-safe | ooo-wb |\n"
         "                    ooo-unsafe          (default ooo-wb)\n"
         "  --class C         SLM | NHM | HSW     (default SLM)\n"
@@ -93,11 +98,17 @@ usage()
         "                    CHECKPOINT.md). Corrupt or mismatched\n"
         "                    snapshots exit 2; replay divergence\n"
         "                    is a panic (exit 4)\n"
+        "  --record-trace FILE\n"
+        "                    record the run's committed instruction\n"
+        "                    streams into a .wbt trace; replayable\n"
+        "                    with --workload trace=FILE and\n"
+        "                    inspectable with wbtrace\n"
         "  --dump-stats      print every counter after the run\n"
         "  --json FILE       write a JSON report (- for stdout)\n"
-        "  --list            list benchmark profiles and exit\n"
-        "exit codes: 0 ok, 2 TSO violation / corrupt snapshot,\n"
-        "            3 deadlock/hang, 4 internal panic,\n"
+        "  --list, --list-workloads\n"
+        "                    list available workloads and exit\n"
+        "exit codes: 0 ok, 2 TSO violation / corrupt snapshot or\n"
+        "            trace, 3 deadlock/hang, 4 internal panic,\n"
         "            64 usage error\n");
 }
 
@@ -161,6 +172,35 @@ enableTrace(const std::string &flags)
     }
 }
 
+void
+listWorkloads()
+{
+    std::printf("%-14s %-9s %s\n", "name", "source", "notes");
+    for (const auto &n : splashNames())
+        std::printf("%-14s %-9s %s\n", n.c_str(), "builtin",
+                    "SPLASH-3 profile");
+    for (const auto &n : parsecNames())
+        std::printf("%-14s %-9s %s\n", n.c_str(), "builtin",
+                    "PARSEC 3.0 profile");
+    static const struct
+    {
+        const char *name;
+        const char *note;
+    } litmus[] = {
+        {"table1", "paper Table 1: ld-ld reordering witness"},
+        {"table3", "paper Table 3: fine-grain sharing"},
+        {"sb", "store buffering (Dekker)"},
+        {"sb-fence", "store buffering with fences"},
+        {"lb", "load buffering"},
+        {"corr", "coherent read-read"},
+        {"iriw", "independent reads, independent writes"},
+    };
+    for (const auto &l : litmus)
+        std::printf("%-14s %-9s %s\n", l.name, "litmus", l.note);
+    std::printf("%-14s %-9s %s\n", "trace=FILE", "trace",
+                "replay a recorded .wbt trace (docs/TRACES.md)");
+}
+
 int
 litmusKindOf(const std::string &name, LitmusKind &kind)
 {
@@ -194,6 +234,7 @@ main(int argc, char **argv)
     CommitMode mode = CommitMode::OooWB;
     CoreClass cls = CoreClass::SLM;
     int cores = 16;
+    bool cores_set = false;
     double scale = 0.5;
     int iters = 2000;
     NetworkKind network = NetworkKind::Mesh;
@@ -214,6 +255,7 @@ main(int argc, char **argv)
     Tick checkpoint_at = 0;
     std::string checkpoint_path = "checkpoint.wbsnap";
     std::string restore_path;
+    std::string record_trace;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -236,9 +278,10 @@ main(int argc, char **argv)
                 usage();
                 return 64;
             }
-        } else if (a == "--cores")
+        } else if (a == "--cores") {
             cores = std::atoi(next());
-        else if (a == "--scale")
+            cores_set = true;
+        } else if (a == "--scale")
             scale = std::atof(next());
         else if (a == "--iters")
             iters = std::atoi(next());
@@ -317,13 +360,12 @@ main(int argc, char **argv)
             checkpoint_path = next();
         else if (a == "--restore")
             restore_path = next();
+        else if (a == "--record-trace")
+            record_trace = next();
         else if (a == "--json")
             json_path = next();
-        else if (a == "--list") {
-            std::printf("benchmark profiles:\n");
-            for (const auto &n : benchmarkNames())
-                std::printf("  %s\n", n.c_str());
-            std::printf("litmus: table1 table3 sb corr\n");
+        else if (a == "--list" || a == "--list-workloads") {
+            listWorkloads();
             return 0;
         } else {
             usage();
@@ -331,19 +373,79 @@ main(int argc, char **argv)
         }
     }
 
-    // Build the workload.
+    // Build the workload. Trace provenance (source tag + generation
+    // seed) rides along so --record-trace writes faithful metadata —
+    // and a replayed trace re-records byte-identically.
     Workload wl;
     LitmusKind lk{};
-    const bool is_litmus = litmusKindOf(workload, lk);
-    if (is_litmus) {
+    TraceFile replay_trace;
+    const bool is_trace = workload.rfind("trace=", 0) == 0;
+    const bool is_litmus =
+        !is_trace && litmusKindOf(workload, lk) != 0;
+    std::string wl_source;
+    std::uint64_t wl_seed = 0;
+    if (is_trace) {
+        // Load + validate before anything else: hostile or damaged
+        // input is rejected up front (exit 2), and no partially
+        // decoded workload ever reaches the System.
+        const std::string path = workload.substr(6);
+        try {
+            replay_trace = TraceFile::load(path);
+        } catch (const TraceError &e) {
+            std::fprintf(stderr, "trace load failed: %s\n",
+                         e.what());
+            if (!crash_dump.empty()) {
+                std::ofstream dump(crash_dump);
+                if (dump)
+                    writeLoadFailureReport(dump, "trace-corrupt",
+                                           e.what());
+            }
+            return 2;
+        }
+        wl = traceWorkload(replay_trace);
+        wl_source = replay_trace.source;
+        wl_seed = replay_trace.seed;
+        // Cross-check the recorded origin fingerprint against the
+        // embedded static sections: catches a trace recorded by an
+        // incompatible build whose fingerprint encoding differs.
+        Workload origin = wl;
+        origin.traceFingerprint = 0;
+        if (workloadFingerprint(origin) != replay_trace.workloadFp) {
+            const std::string detail =
+                "trace header fingerprint does not match the "
+                "embedded programs — recorded by an incompatible "
+                "build";
+            std::fprintf(stderr, "trace load failed: %s\n",
+                         detail.c_str());
+            if (!crash_dump.empty()) {
+                std::ofstream dump(crash_dump);
+                if (dump)
+                    writeLoadFailureReport(dump, "trace-mismatch",
+                                           detail);
+            }
+            return 2;
+        }
+        if (!cores_set)
+            cores = int(replay_trace.threads.size());
+        if (cores < int(replay_trace.threads.size())) {
+            std::fprintf(stderr,
+                         "--cores %d is fewer than the trace's %zu "
+                         "thread(s)\n",
+                         cores, replay_trace.threads.size());
+            return 64;
+        }
+    } else if (is_litmus) {
         wl = makeLitmus(lk, iters);
-        if (cores == 16)
+        wl_source = "litmus";
+        if (!cores_set && cores == 16)
             cores = 4;
     } else {
         SyntheticParams p = benchmarkProfile(workload, scale);
         if (seed)
             p.seed = seed;
         wl = makeSynthetic(p, cores);
+        wl_source = "builtin";
+        wl_seed = p.seed;
     }
 
     SystemConfig cfg;
@@ -389,6 +491,15 @@ main(int argc, char **argv)
     System sys(cfg, wl);
 
     const std::uint64_t wl_fp = workloadFingerprint(wl);
+
+    // Hook every core's commit stage before the first cycle so the
+    // recorded streams are complete.
+    std::unique_ptr<TraceRecorder> trace_rec;
+    if (!record_trace.empty()) {
+        trace_rec = std::make_unique<TraceRecorder>(wl, wl_source,
+                                                    wl_seed);
+        trace_rec->attach(sys);
+    }
 
     // Load and sanity-check the restore witness before the run so
     // hostile or mismatched input is rejected up front (exit 2).
@@ -589,6 +700,21 @@ main(int argc, char **argv)
                              json_path.c_str());
             else
                 writeJsonReport(jf, wl.name, cfg, r, &sys.stats());
+        }
+    }
+    if (trace_rec) {
+        const TraceFile t = trace_rec->finalize();
+        try {
+            t.save(record_trace);
+            std::printf("trace written to %s (%llu records, "
+                        "%zu threads)\n",
+                        record_trace.c_str(),
+                        static_cast<unsigned long long>(
+                            t.recordCount()),
+                        t.threads.size());
+        } catch (const TraceError &e) {
+            std::fprintf(stderr, "could not write trace: %s\n",
+                         e.what());
         }
     }
     if (!trace_out.empty()) {
