@@ -14,6 +14,7 @@
 #include "campaign/campaign_aggregator.hh"
 #include "campaign/job_journal.hh"
 #include "campaign/result_cache.hh"
+#include "campaign/worker_pool.hh"
 #include "obs/perfetto.hh"
 #include "recovery/equivalence.hh"
 #include "sim/log.hh"
@@ -107,34 +108,6 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
     return res;
 }
 
-JobResult
-executeWithRetry(const CampaignSpec &spec, const JobSpec &job,
-                 const std::string &out_dir,
-                 bool verify_equivalence)
-{
-    std::string last_err = "unknown infrastructure failure";
-    for (int attempt = 0; attempt <= spec.maxRetries; ++attempt) {
-        try {
-            JobResult res = executeOnce(spec, job, out_dir,
-                                        verify_equivalence);
-            res.attempts = attempt + 1;
-            return res;
-        } catch (const std::exception &e) {
-            last_err = e.what();
-        } catch (...) {
-            last_err = "non-standard exception";
-        }
-    }
-    JobResult res;
-    res.spec = job;
-    res.outcome = RunOutcome::Panic;
-    res.verdict = "infra-failure";
-    res.detail = last_err;
-    res.infraFailure = true;
-    res.attempts = spec.maxRetries + 1;
-    return res;
-}
-
 std::string
 progressLine(const CampaignSummary &s, int busy, int workers,
              double elapsed, std::size_t cache_hits)
@@ -157,6 +130,42 @@ progressLine(const CampaignSummary &s, int busy, int workers,
 }
 
 } // namespace
+
+JobResult
+runCampaignJob(const CampaignSpec &spec, const JobSpec &job,
+               const std::string &out_dir, bool verify_equivalence)
+{
+    std::string last_err = "unknown infrastructure failure";
+    bool oom = false;
+    for (int attempt = 0; attempt <= spec.maxRetries; ++attempt) {
+        try {
+            JobResult res = executeOnce(spec, job, out_dir,
+                                        verify_equivalence);
+            res.attempts = attempt + 1;
+            return res;
+        } catch (const std::bad_alloc &) {
+            // Under the process backend's RLIMIT_AS this is the
+            // expected face of a job that outgrew its memory
+            // budget; classify it apart from generic infra trouble.
+            last_err = "allocation failed (std::bad_alloc)";
+            oom = true;
+        } catch (const std::exception &e) {
+            last_err = e.what();
+            oom = false;
+        } catch (...) {
+            last_err = "non-standard exception";
+            oom = false;
+        }
+    }
+    JobResult res;
+    res.spec = job;
+    res.outcome = RunOutcome::Panic;
+    res.verdict = oom ? "job-oom" : "infra-failure";
+    res.detail = last_err;
+    res.infraFailure = true;
+    res.attempts = spec.maxRetries + 1;
+    return res;
+}
 
 const JobResult *
 CampaignResult::find(const std::string &workload, CommitMode mode,
@@ -250,6 +259,65 @@ CampaignRunner::run()
                                   std::max<std::size_t>(
                                       jobs.size(), 1)));
 
+    // Content-addressed cache probe: key the job by the
+    // fingerprints of the config + workload it would run
+    // (result_cache.hh). Key construction failures fall through to
+    // normal execution, which classifies them. On a hit the entry
+    // is re-homed on this job (index/paths are positional, not part
+    // of the result). The thread backend calls this from worker
+    // threads; the process backend from the supervisor only.
+    auto tryCacheFn = [&](std::size_t i, JobResult &res,
+                          std::string &key) -> bool {
+        if (!use_cache)
+            return false;
+        try {
+            key = ResultCache::keyString(_spec, jobs[i],
+                                         _opts.verifyEquivalence);
+        } catch (...) {
+        }
+        JobResult cached;
+        if (key.empty() || !cache.lookup(key, cached))
+            return false;
+        cached.spec = jobs[i];
+        cached.crashReportPath.clear();
+        if (!cached.crashJson.empty() && !_opts.outDir.empty()) {
+            const std::string path =
+                _opts.outDir + "/crash-job" +
+                std::to_string(jobs[i].index) + ".json";
+            std::ofstream f(path);
+            if (f) {
+                f << cached.crashJson;
+                if (f.good())
+                    cached.crashReportPath = path;
+            }
+        }
+        res = std::move(cached);
+        return true;
+    };
+
+    // Commit one finished result: result slot, cache store,
+    // aggregate, journal, done[] — the single bookkeeping path both
+    // backends share, so their aggregates cannot drift. Each slot
+    // is committed exactly once; concurrent callers (thread
+    // backend) are safe because agg/journal lock internally.
+    auto commitFn = [&](std::size_t i, JobResult &&res,
+                        const std::string &key, bool from_cache) {
+        out.jobs[i] = std::move(res);
+        if (from_cache) {
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else if (use_cache) {
+            cache_misses.fetch_add(1, std::memory_order_relaxed);
+            // Never cache infra failures: they describe the host
+            // (OOM, fs trouble, a poisoned worker), not the job.
+            if (!key.empty() && !out.jobs[i].infraFailure)
+                cache.store(key, out.jobs[i]);
+        }
+        agg.record(out.jobs[i]);
+        journal.append(out.jobs[i]);
+        journaled_n.fetch_add(1, std::memory_order_relaxed);
+        done[i] = 1;
+    };
+
     auto worker = [&] {
         for (;;) {
             if (stopRequested())
@@ -261,65 +329,16 @@ CampaignRunner::run()
             if (done[i]) // replayed from the resume journal
                 continue;
             busy.fetch_add(1, std::memory_order_relaxed);
-
-            // Content-addressed cache: key the job by the
-            // fingerprints of the config + workload it would run
-            // (result_cache.hh). Key construction failures fall
-            // through to normal execution, which classifies them.
+            JobResult res;
             std::string key;
-            bool hit = false;
-            if (use_cache) {
-                try {
-                    key = ResultCache::keyString(
-                        _spec, jobs[i], _opts.verifyEquivalence);
-                } catch (...) {
-                }
-                JobResult cached;
-                if (!key.empty() && cache.lookup(key, cached)) {
-                    // Re-home the entry on this job: index/paths
-                    // are positional, not part of the result.
-                    cached.spec = jobs[i];
-                    cached.crashReportPath.clear();
-                    if (!cached.crashJson.empty() &&
-                        !_opts.outDir.empty()) {
-                        const std::string path =
-                            _opts.outDir + "/crash-job" +
-                            std::to_string(jobs[i].index) +
-                            ".json";
-                        std::ofstream f(path);
-                        if (f) {
-                            f << cached.crashJson;
-                            if (f.good())
-                                cached.crashReportPath = path;
-                        }
-                    }
-                    out.jobs[i] = cached;
-                    hit = true;
-                    cache_hits.fetch_add(
-                        1, std::memory_order_relaxed);
-                }
-            }
-
-            if (!hit) {
-                // Each slot is written by exactly one worker; the
-                // joining thread synchronises via thread::join.
-                out.jobs[i] =
-                    executeWithRetry(_spec, jobs[i], _opts.outDir,
-                                     _opts.verifyEquivalence);
-                if (use_cache) {
-                    cache_misses.fetch_add(
-                        1, std::memory_order_relaxed);
-                    // Never cache infra failures: they describe
-                    // the host (OOM, fs trouble), not the job.
-                    if (!key.empty() &&
-                        !out.jobs[i].infraFailure)
-                        cache.store(key, out.jobs[i]);
-                }
-            }
-            agg.record(out.jobs[i]);
-            journal.append(out.jobs[i]);
-            journaled_n.fetch_add(1, std::memory_order_relaxed);
-            done[i] = 1;
+            if (tryCacheFn(i, res, key))
+                commitFn(i, std::move(res), key, true);
+            else
+                commitFn(i,
+                         runCampaignJob(_spec, jobs[i],
+                                        _opts.outDir,
+                                        _opts.verifyEquivalence),
+                         key, false);
             busy.fetch_sub(1, std::memory_order_relaxed);
         }
     };
@@ -370,12 +389,29 @@ CampaignRunner::run()
         });
     }
 
-    std::vector<std::thread> pool;
-    pool.reserve(std::size_t(nworkers));
-    for (int w = 0; w < nworkers; ++w)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    if (_opts.process.enabled) {
+        // Process-isolated backend (worker_pool.hh): execution
+        // moves into forked workers, but cache/aggregate/journal
+        // bookkeeping stays right here via the same callbacks the
+        // thread backend uses — aggregates remain byte-identical.
+        const WorkerPoolStats pst =
+            runWorkerPool(_spec, jobs, done, _opts, nworkers, busy,
+                          tryCacheFn, commitFn);
+        out.workerRestarts = pst.workerRestarts;
+        out.workerCrashes = pst.workerCrashes;
+        out.jobTimeouts = pst.jobTimeouts;
+        out.jobOoms = pst.jobOoms;
+        out.quarantined = pst.quarantined;
+        out.degradedTransitions = pst.degradedTransitions;
+        out.inProcessJobs = pst.inProcessJobs;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(std::size_t(nworkers));
+        for (int w = 0; w < nworkers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
 
     {
         std::lock_guard<std::mutex> lk(pmu);

@@ -40,7 +40,9 @@ struct JobResult
     JobSpec spec;
     RunOutcome outcome = RunOutcome::Ok;
     /** "ok" | "tso-violation" | "deadlock" | "cycle-cap" | "panic"
-     *  | "infra-failure". */
+     *  | "infra-failure", plus the process-backend supervision
+     *  verdicts "worker-crash" | "job-timeout" | "job-oom"
+     *  (worker_pool.hh; same exit taxonomy). */
     std::string verdict = "ok";
     std::string detail;
     SimResults results;
@@ -123,12 +125,73 @@ struct CampaignResult
     std::size_t cacheHits = 0;
     std::size_t cacheMisses = 0;
 
+    // Process-backend supervision tallies (worker_pool.hh); all
+    // zero under the thread backend. Sidecar-only for the same
+    // reason as the cache counters: they describe the host run,
+    // not the experiment.
+    std::size_t workerRestarts = 0;      //!< respawns performed
+    std::size_t workerCrashes = 0;       //!< abnormal worker deaths
+    std::size_t jobTimeouts = 0;         //!< deadline/heartbeat kills
+    std::size_t jobOoms = 0;             //!< jobs ending "job-oom"
+    std::size_t quarantined = 0;         //!< poison jobs recorded
+    std::size_t degradedTransitions = 0; //!< supervision gave ground
+    std::size_t inProcessJobs = 0;       //!< last-resort fallback
+
     /** Linear lookup by axis values; nullptr when absent. */
     const JobResult *find(const std::string &workload,
                           CommitMode mode, CoreClass cls,
                           const std::string &variant = "",
                           const std::string &mix = "clean",
                           int seed_index = 0) const;
+};
+
+/** Supervision policy for the process-isolated backend
+ *  (worker_pool.hh). Defaults are service-grade conservative; the
+ *  wbcampaign flags --job-timeout/--job-mem-limit/--max-respawns/
+ *  --poison-threshold map onto the matching fields. */
+struct ProcessPoolOptions
+{
+    /** Run jobs in forked worker processes instead of threads. */
+    bool enabled = false;
+    /** Binary to exec as the worker ("" = /proc/self/exe, i.e.
+     *  re-exec whatever is running the supervisor). It is invoked
+     *  as `EXE --worker` with the command pipe on fd 3 and the
+     *  result pipe on fd 4. */
+    std::string exePath;
+    /** Per-job wall-clock deadline enforced by the supervisor; the
+     *  worker also arms RLIMIT_CPU from it so a spin that starves
+     *  the supervisor still dies. 0 = no deadline. */
+    double jobTimeoutSeconds = 0;
+    /** Per-worker RLIMIT_AS in MiB; an allocation beyond it fails
+     *  with bad_alloc and the job is recorded as "job-oom".
+     *  0 = unlimited. */
+    std::uint64_t jobMemLimitMb = 0;
+    /** Worker heartbeat period, and how long the supervisor
+     *  tolerates silence before declaring the worker wedged. */
+    double heartbeatSeconds = 1.0;
+    double heartbeatGraceSeconds = 30.0;
+    /** Respawn budget: per worker slot, and across the whole
+     *  campaign (-1 = workers * maxRespawnsPerWorker). Exhausting
+     *  either retires the slot; losing every slot degrades to
+     *  in-process execution. */
+    int maxRespawnsPerWorker = 3;
+    int respawnBudget = -1;
+    /** Exponential backoff between respawns of the same slot. */
+    double backoffBaseSeconds = 0.25;
+    double backoffMaxSeconds = 5.0;
+    /** A job whose execution kills this many consecutive workers
+     *  is quarantined: recorded as a classified failure with a
+     *  crash report and never retried. */
+    int poisonThreshold = 2;
+    /** Deterministic fault-injection hook for the supervision
+     *  tests: "[once:]MODE@JOBINDEX" with MODE one of
+     *  segv|abort|exit|hang|mute|oom (worker_pool.cc). Only active
+     *  inside --worker processes. */
+    std::string chaos;
+    /** Signal-handler self-pipe read end; wakes the supervisor's
+     *  poll immediately on SIGINT/SIGTERM. -1 = rely on the poll
+     *  timeout to notice the stop flag. */
+    int wakeFd = -1;
 };
 
 /** Thread-pool executor for one campaign. */
@@ -169,6 +232,10 @@ class CampaignRunner
         const std::vector<JobResult> *preloaded = nullptr;
         /** Content-addressed result cache directory; "" = off. */
         std::string cacheDir;
+        /** Process-isolated execution backend; when enabled the
+         *  journal header doubles as the worker spec description,
+         *  so specKind/specText must be set. */
+        ProcessPoolOptions process;
     };
 
     explicit CampaignRunner(const CampaignSpec &spec)
@@ -187,6 +254,16 @@ class CampaignRunner
     Options _opts;
     int _workers;
 };
+
+/** Run one job with bounded infrastructure retry — the unit of
+ *  execution shared by the thread backend, the worker processes,
+ *  and the degraded in-process fallback. Never throws: simulation
+ *  outcomes are classified, infra failures (including bad_alloc
+ *  under RLIMIT_AS, recorded as "job-oom") exhaust
+ *  CampaignSpec::maxRetries and are recorded. */
+JobResult runCampaignJob(const CampaignSpec &spec, const JobSpec &job,
+                         const std::string &outDir,
+                         bool verifyEquivalence);
 
 } // namespace wb
 

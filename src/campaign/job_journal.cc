@@ -5,6 +5,10 @@
 
 #include <unistd.h>
 
+// The header codec lives in job_codec.cc: the worker Init frame and
+// the journal header are deliberately the same byte encoding.
+#include "campaign/job_codec.hh"
+
 namespace wb
 {
 
@@ -183,47 +187,6 @@ decodeJobResult(ByteReader &r)
     return res;
 }
 
-// ---------------------------------------------------------------
-// Journal header codec
-// ---------------------------------------------------------------
-
-namespace
-{
-
-std::vector<unsigned char>
-encodeHeader(const JournalHeader &h)
-{
-    ByteWriter w;
-    w.str(h.specKind);
-    w.str(h.specText);
-    w.i64(h.seedsOverride);
-    w.b(h.recovery);
-    w.b(h.verifyEquivalence);
-    w.b(h.checkFaults);
-    w.b(h.strict);
-    w.u64(h.specFingerprint);
-    w.u64(h.jobCount);
-    return w.take();
-}
-
-JournalHeader
-decodeHeader(ByteReader &r)
-{
-    JournalHeader h;
-    h.specKind = r.str();
-    h.specText = r.str();
-    h.seedsOverride = r.i64();
-    h.recovery = r.b();
-    h.verifyEquivalence = r.b();
-    h.checkFaults = r.b();
-    h.strict = r.b();
-    h.specFingerprint = r.u64();
-    h.jobCount = r.u64();
-    return h;
-}
-
-} // namespace
-
 std::uint64_t
 jobListFingerprint(const std::vector<JobSpec> &jobs)
 {
@@ -249,7 +212,9 @@ JobJournal::open(const std::string &path, const JournalHeader &hdr,
               std::strerror(errno);
         return false;
     }
-    const std::vector<unsigned char> payload = encodeHeader(hdr);
+    ByteWriter hw;
+    encodeJournalHeader(hw, hdr);
+    const std::vector<unsigned char> payload = hw.take();
     ByteWriter w;
     w.u64(magic);
     w.u32(version);
@@ -340,7 +305,7 @@ JobJournal::load(const std::string &path, LoadResult &out,
             return false;
         }
         ByteReader hr(hbuf.data(), hbuf.size());
-        out.header = decodeHeader(hr);
+        out.header = decodeJournalHeader(hr);
 
         // Records: stop at the first torn one (everything after a
         // torn record was never fsynced in order, so it is garbage

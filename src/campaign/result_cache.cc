@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "campaign/job_journal.hh"
 #include "snapshot/system_state.hh"
 
@@ -117,8 +119,15 @@ ResultCache::store(const std::string &key,
     const auto buf = w.take();
 
     const std::string path = entryPath(key);
+    // The tmp name must be unique per *process* too, not just per
+    // thread: campaign worker processes share the cache directory,
+    // and the main threads of forked siblings can hash identically.
+    // Racing writers then each build a private tmp file and the
+    // rename stays atomic — the entry is always one writer's
+    // complete bytes.
     const std::string tmp =
-        path + ".tmp." +
+        path + ".tmp." + std::to_string(std::uint64_t(::getpid())) +
+        "." +
         std::to_string(std::uint64_t(
             std::hash<std::thread::id>{}(
                 std::this_thread::get_id())));

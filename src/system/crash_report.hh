@@ -73,7 +73,11 @@ void writeCrashReport(std::ostream &os, System &sys,
  * load. Emits the same "wbsim-crash-1" schema (verdict + detail)
  * with no machine state, so triage scripts parse both shapes alike.
  * Used by wbsim for the `snapshot-corrupt` / `trace-corrupt` /
- * `trace-mismatch` verdicts.
+ * `trace-mismatch` verdicts, and by the wbcampaign supervisor for
+ * the verdicts it synthesizes on behalf of a job whose worker
+ * process died (`worker-crash`, `job-timeout`, `job-oom`): there is
+ * no System left to dump, but the classified record still lands in
+ * the journal and the crash-report sidecar.
  */
 void writeLoadFailureReport(std::ostream &os,
                             const std::string &verdict,

@@ -31,12 +31,16 @@
 #include <sstream>
 #include <string>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "campaign/campaign_aggregator.hh"
 #include "campaign/campaign_runner.hh"
 #include "campaign/campaign_spec.hh"
 #include "campaign/fault_invariants.hh"
 #include "campaign/job_journal.hh"
 #include "campaign/result_cache.hh"
+#include "campaign/worker_pool.hh"
 
 namespace
 {
@@ -45,14 +49,22 @@ using namespace wb;
 
 /** SIGINT/SIGTERM request a graceful stop: workers finish (and
  *  journal) their in-flight jobs, then the campaign exits with the
- *  resumable code 5. std::atomic<bool> is lock-free here, so the
- *  handler is async-signal-safe. */
+ *  resumable code 5. The handler is async-signal-safe by
+ *  construction: a lock-free atomic store plus one write() to the
+ *  self-pipe that wakes the process-backend supervisor's poll().
+ *  The drain is forwarded to worker processes (SIGTERM), so both
+ *  layers leave through the cooperative exit-5 path. */
 std::atomic<bool> g_stop{false};
+int g_wakeFd = -1;
 
 void
 onStopSignal(int)
 {
     g_stop.store(true, std::memory_order_relaxed);
+    if (g_wakeFd >= 0) {
+        const unsigned char c = 1;
+        [[maybe_unused]] const ssize_t n = ::write(g_wakeFd, &c, 1);
+    }
 }
 
 void
@@ -96,6 +108,27 @@ usage()
         "  --cache-dir DIR   content-addressed result cache\n"
         "                    (default: OUT/cache when --out is set)\n"
         "  --no-cache        disable the result cache\n"
+        "  --process         process-isolated workers: fork/exec a\n"
+        "                    supervised worker pool instead of\n"
+        "                    threads, so a worker segfault/OOM/hang\n"
+        "                    is classified (worker-crash,\n"
+        "                    job-timeout, job-oom) without killing\n"
+        "                    the campaign (docs/CAMPAIGN.md)\n"
+        "  --job-timeout S   per-job wall-clock deadline (seconds,\n"
+        "                    process backend; also arms RLIMIT_CPU\n"
+        "                    in the workers)\n"
+        "  --job-mem-limit M per-worker RLIMIT_AS in MiB; an\n"
+        "                    over-budget job is recorded as job-oom\n"
+        "  --max-respawns N  respawn budget per worker slot\n"
+        "                    (default 3, exponential backoff)\n"
+        "  --poison-threshold N\n"
+        "                    quarantine a job after it kills N\n"
+        "                    consecutive workers (default 2)\n"
+        "  --chaos-worker SPEC\n"
+        "                    test hook: make a worker fail on a\n"
+        "                    chosen job; SPEC = [once:]MODE@INDEX,\n"
+        "                    MODE segv|abort|exit|hang|mute|oom\n"
+        "                    (implies --process)\n"
         "  --dry-run         print the expanded job list and exit\n"
         "  --no-progress     disable the live progress line\n"
         "SIGINT/SIGTERM finish in-flight jobs, journal them, and\n"
@@ -123,6 +156,12 @@ main(int argc, char **argv)
 {
     using namespace wb;
 
+    // Worker role: speak the pipe protocol on fds 3/4 and nothing
+    // else. Checked before option parsing so a supervisor from a
+    // newer build cannot be confused by flags it never sends.
+    if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
+        return campaignWorkerMain();
+
     std::string spec_path;
     std::string builtin;
     int jobs = 0;
@@ -139,6 +178,12 @@ main(int argc, char **argv)
     std::string resume_dir;
     std::string cache_dir;
     bool no_cache = false;
+    bool process_backend = false;
+    double job_timeout = 0;
+    long job_mem_mb = 0;
+    int max_respawns = -1;
+    int poison_threshold = 0;
+    std::string chaos_spec;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -182,13 +227,40 @@ main(int argc, char **argv)
             cache_dir = next();
         else if (a == "--no-cache")
             no_cache = true;
-        else if (a == "--dry-run")
+        else if (a == "--process")
+            process_backend = true;
+        else if (a == "--job-timeout")
+            job_timeout = std::atof(next());
+        else if (a == "--job-mem-limit")
+            job_mem_mb = std::atol(next());
+        else if (a == "--max-respawns")
+            max_respawns = std::atoi(next());
+        else if (a == "--poison-threshold")
+            poison_threshold = std::atoi(next());
+        else if (a == "--chaos-worker") {
+            chaos_spec = next();
+            process_backend = true;
+        } else if (a == "--dry-run")
             dry_run = true;
         else if (a == "--no-progress")
             progress = false;
         else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 64;
+        }
+    }
+
+    if (!chaos_spec.empty()) {
+        std::string cmode;
+        std::size_t cidx = 0;
+        bool conce = false;
+        if (!parseChaosSpec(chaos_spec, cmode, cidx, conce)) {
+            std::fprintf(stderr,
+                         "--chaos-worker: bad spec '%s' (want "
+                         "[once:]segv|abort|exit|hang|mute|oom"
+                         "@JOBINDEX)\n",
+                         chaos_spec.c_str());
+            return 64;
         }
     }
 
@@ -229,21 +301,15 @@ main(int argc, char **argv)
     CampaignSpec spec;
     std::string spec_kind, spec_text;
     if (!builtin.empty()) {
-        if (builtin == "fault") {
-            spec = faultCampaignSpec();
-            if (resume_dir.empty())
-                check_faults = true;
-        } else {
-            std::fprintf(stderr, "unknown builtin '%s' "
-                                 "(available: fault)\n",
-                         builtin.c_str());
-            return 64;
-        }
+        if (builtin == "fault" && resume_dir.empty())
+            check_faults = true;
         spec_kind = "builtin";
         spec_text = builtin;
     } else {
         // Keep the manifest text: the journal header embeds it so
-        // --resume needs nothing but the output directory.
+        // --resume needs nothing but the output directory — and
+        // the process backend's workers rebuild the identical spec
+        // from the very same description.
         if (spec_path == "<journal>") {
             spec_text = journal_load.header.specText;
         } else {
@@ -258,23 +324,22 @@ main(int argc, char **argv)
             spec_text = ss.str();
         }
         spec_kind = "manifest";
-        std::string err;
-        std::istringstream in(spec_text);
-        if (!parseCampaignSpec(in, spec, err)) {
-            std::fprintf(stderr, "%s: %s\n", spec_path.c_str(),
-                         err.c_str());
-            return 64;
-        }
     }
-    if (seeds_override > 0)
-        spec.seeds = seeds_override;
-    if (recovery || verify_equivalence)
-        spec.recovery.enabled = true;
+    JournalHeader desc;
+    desc.specKind = spec_kind;
+    desc.specText = spec_text;
+    desc.seedsOverride = seeds_override;
+    desc.recovery = recovery;
+    desc.verifyEquivalence = verify_equivalence;
+    desc.checkFaults = check_faults;
+    desc.strict = strict;
     {
-        const std::string bad = spec.validate();
-        if (!bad.empty()) {
-            std::fprintf(stderr, "campaign spec: %s\n",
-                         bad.c_str());
+        std::string err;
+        if (!buildCampaignSpec(desc, spec, err)) {
+            std::fprintf(stderr, "%s: %s\n",
+                         spec_path.empty() ? builtin.c_str()
+                                           : spec_path.c_str(),
+                         err.c_str());
             return 64;
         }
     }
@@ -317,13 +382,7 @@ main(int argc, char **argv)
     opts.stopFlag = &g_stop;
     opts.journalPath =
         out_dir.empty() ? "" : out_dir + "/journal.wbj";
-    opts.journalHeader.specKind = spec_kind;
-    opts.journalHeader.specText = spec_text;
-    opts.journalHeader.seedsOverride = seeds_override;
-    opts.journalHeader.recovery = recovery;
-    opts.journalHeader.verifyEquivalence = verify_equivalence;
-    opts.journalHeader.checkFaults = check_faults;
-    opts.journalHeader.strict = strict;
+    opts.journalHeader = desc;
     if (!resume_dir.empty())
         opts.preloaded = &journal_load.jobs;
     if (!no_cache)
@@ -332,8 +391,37 @@ main(int argc, char **argv)
                             : (out_dir.empty()
                                    ? std::string()
                                    : out_dir + "/cache");
+    opts.process.enabled = process_backend;
+    opts.process.jobTimeoutSeconds = job_timeout;
+    opts.process.jobMemLimitMb =
+        job_mem_mb > 0 ? static_cast<std::uint64_t>(job_mem_mb) : 0;
+    if (max_respawns >= 0)
+        opts.process.maxRespawnsPerWorker = max_respawns;
+    if (poison_threshold > 0)
+        opts.process.poisonThreshold = poison_threshold;
+    opts.process.chaos = chaos_spec;
+
+    // Self-pipe: the signal handler may only touch the stop flag and
+    // this fd, and the supervisor's poll() must wake immediately so a
+    // SIGTERM drains the worker pool instead of waiting out the poll
+    // timeout.
+    int wakepipe[2] = {-1, -1};
+    if (::pipe(wakepipe) == 0) {
+        for (int fd : wakepipe) {
+            ::fcntl(fd, F_SETFL,
+                    ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+            ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+        }
+        g_wakeFd = wakepipe[1];
+        opts.process.wakeFd = wakepipe[0];
+    }
+
     CampaignRunner runner(spec, opts);
 
+    // A worker that died mid-write leaves the supervisor writing into
+    // a broken pipe; that must surface as EPIPE, not kill the
+    // process.
+    ::signal(SIGPIPE, SIG_IGN);
     struct sigaction sa = {};
     sa.sa_handler = onStopSignal;
     sigaction(SIGINT, &sa, nullptr);
@@ -362,6 +450,20 @@ main(int argc, char **argv)
                      result.cacheHits == 1 ? "" : "s",
                      result.cacheMisses,
                      result.cacheMisses == 1 ? "" : "es");
+    if (process_backend)
+        std::fprintf(stderr,
+                     "supervision: %zu restart%s, %zu crash%s, "
+                     "%zu timeout%s, %zu oom, %zu quarantined, "
+                     "%zu degraded, %zu in-process\n",
+                     result.workerRestarts,
+                     result.workerRestarts == 1 ? "" : "s",
+                     result.workerCrashes,
+                     result.workerCrashes == 1 ? "" : "es",
+                     result.jobTimeouts,
+                     result.jobTimeouts == 1 ? "" : "s",
+                     result.jobOoms, result.quarantined,
+                     result.degradedTransitions,
+                     result.inProcessJobs);
     if (!out_dir.empty()) {
         std::ofstream d(out_dir + "/durability.json");
         if (d)
@@ -376,6 +478,19 @@ main(int argc, char **argv)
               << "  \"cacheMisses\": " << result.cacheMisses
               << ",\n"
               << "  \"tornDropped\": " << journal_load.tornDropped
+              << ",\n"
+              << "  \"workerRestarts\": " << result.workerRestarts
+              << ",\n"
+              << "  \"workerCrashes\": " << result.workerCrashes
+              << ",\n"
+              << "  \"jobTimeouts\": " << result.jobTimeouts
+              << ",\n"
+              << "  \"jobOoms\": " << result.jobOoms << ",\n"
+              << "  \"quarantined\": " << result.quarantined
+              << ",\n"
+              << "  \"degradedTransitions\": "
+              << result.degradedTransitions << ",\n"
+              << "  \"inProcessJobs\": " << result.inProcessJobs
               << "\n}\n";
     }
 
