@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -29,7 +30,8 @@ namespace
  *  runner-infrastructure failure (workload/config construction). */
 JobResult
 executeOnce(const CampaignSpec &spec, const JobSpec &job,
-            const std::string &out_dir, bool verify_equivalence)
+            const std::string &out_dir, bool verify_equivalence,
+            const TelemetryHooks *telemetry)
 {
     JobResult res;
     res.spec = job;
@@ -40,7 +42,28 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
     // retry it.
     Workload wl = spec.workloadFor(job);
     SystemConfig cfg = spec.configFor(job);
+    if (telemetry && telemetry->enabled())
+        cfg.obs.metricsPeriod = telemetry->period;
     System sys(cfg, wl);
+
+    // Telemetry: route every snapshot line through the hook, tagged
+    // with the job index. The wall stamp lives in a separate header
+    // key so the tick-keyed body stays seed-deterministic.
+    if (telemetry && telemetry->enabled() && sys.metricsStream()) {
+        sys.metricsStream()->stampWall(std::uint64_t(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count()));
+        if (telemetry->emit) {
+            const std::size_t index = job.index;
+            const auto &fn = telemetry->emit;
+            sys.metricsStream()->setCallback(
+                [index, &fn](const MetricsSummary &sum,
+                             const std::string &line) {
+                    fn(index, sum, line);
+                });
+        }
+    }
 
     // From here on runClassified() owns fault handling: panics and
     // fatals inside the simulation become classified outcomes, not
@@ -79,7 +102,7 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
                              std::to_string(job.index) + ".json");
             if (tf)
                 writePerfettoTrace(tf, *fr, cfg.numCores,
-                                   cfg.numCores);
+                                   cfg.numCores, sys.timeline());
         }
         if (const TimelineSampler *tl = sys.timeline()) {
             std::ofstream cf(out_dir + "/timeline-job" +
@@ -87,6 +110,15 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
             if (cf)
                 tl->writeCsv(cf);
         }
+    }
+
+    // End-of-job exposition sidecar: the final metric values in
+    // Prometheus text format, one file per job.
+    if (telemetry && !telemetry->dir.empty() && sys.metrics()) {
+        std::ofstream ef(telemetry->dir + "/metrics-job" +
+                         std::to_string(job.index) + ".prom");
+        if (ef)
+            sys.metrics()->writeExposition(ef);
     }
 
     if (cr.outcome != RunOutcome::Ok) {
@@ -110,7 +142,8 @@ executeOnce(const CampaignSpec &spec, const JobSpec &job,
 
 std::string
 progressLine(const CampaignSummary &s, int busy, int workers,
-             double elapsed, std::size_t cache_hits)
+             double elapsed, std::size_t cache_hits,
+             const std::string &tele = "")
 {
     char buf[224];
     const double rate = elapsed > 0 ? double(s.done) / elapsed : 0;
@@ -122,25 +155,62 @@ progressLine(const CampaignSummary &s, int busy, int workers,
                       cache_hits);
     std::snprintf(buf, sizeof(buf),
                   "[%zu/%zu] ok %zu dl %zu pn %zu tso %zu inf %zu%s "
-                  "| busy %d/%d | %.1f job/s eta %lds",
+                  "| busy %d/%d | %.1f job/s eta %lds%s",
                   s.done, s.total, s.ok, s.deadlocks, s.panics,
                   s.tsoViolations, s.infraFailures, cache, busy,
-                  workers, rate, eta >= 0 ? eta : 0);
+                  workers, rate, eta >= 0 ? eta : 0, tele.c_str());
     return buf;
 }
+
+/** Aggregated live-telemetry tallies behind the progress line:
+ *  latest snapshot per in-flight job, folded into campaign-wide
+ *  instruction / WritersBlock-entry totals. */
+struct TelemetryBoard
+{
+    std::mutex mu;
+    /** Jobs whose sidecar stream was already opened (truncated)
+     *  this run; later lines append. */
+    std::vector<char> opened;
+    /** Latest summary per job index (header frames, all-zero, are
+     *  skipped). */
+    std::map<std::size_t, MetricsSummary> latest;
+
+    std::string
+    progressSuffix()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (latest.empty())
+            return "";
+        std::uint64_t inst = 0, stores = 0, wb = 0;
+        for (const auto &kv : latest) {
+            inst += kv.second.instructions;
+            stores += kv.second.stores;
+            wb += kv.second.wbEntries;
+        }
+        char buf[96];
+        const double wbks =
+            stores ? double(wb) * 1000.0 / double(stores) : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      " | tele %.2fMinst wb/ks %.1f",
+                      double(inst) / 1e6, wbks);
+        return buf;
+    }
+};
 
 } // namespace
 
 JobResult
 runCampaignJob(const CampaignSpec &spec, const JobSpec &job,
-               const std::string &out_dir, bool verify_equivalence)
+               const std::string &out_dir, bool verify_equivalence,
+               const TelemetryHooks *telemetry)
 {
     std::string last_err = "unknown infrastructure failure";
     bool oom = false;
     for (int attempt = 0; attempt <= spec.maxRetries; ++attempt) {
         try {
             JobResult res = executeOnce(spec, job, out_dir,
-                                        verify_equivalence);
+                                        verify_equivalence,
+                                        telemetry);
             res.attempts = attempt + 1;
             return res;
         } catch (const std::bad_alloc &) {
@@ -247,6 +317,47 @@ CampaignRunner::run()
     const ResultCache cache(_opts.cacheDir);
     const bool use_cache = !_opts.cacheDir.empty();
 
+    // Live telemetry: one emit closure shared by every executor
+    // (worker threads, the supervisor's frame loop, the degraded
+    // fallback), so per-job sidecar streams are byte-identical for
+    // any backend and worker count. Period resolution: explicit
+    // --telemetry-period, else the spec's obs.metrics-period, else
+    // 50k cycles.
+    TelemetryBoard board;
+    TelemetryHooks tele;
+    const TelemetryHooks *telep = nullptr;
+    if (!_opts.telemetryDir.empty()) {
+        std::filesystem::create_directories(_opts.telemetryDir);
+        tele.period = _opts.telemetryPeriod
+                          ? _opts.telemetryPeriod
+                          : (_spec.obs.metricsPeriod
+                                 ? _spec.obs.metricsPeriod
+                                 : Tick(50000));
+        tele.dir = _opts.telemetryDir;
+        board.opened.assign(jobs.size(), 0);
+        const std::string dir = _opts.telemetryDir;
+        tele.emit = [&board, dir](std::size_t job,
+                                  const MetricsSummary &sum,
+                                  const std::string &line) {
+            std::lock_guard<std::mutex> lk(board.mu);
+            const bool fresh = job < board.opened.size() &&
+                               !board.opened[job];
+            if (fresh)
+                board.opened[job] = 1;
+            std::ofstream f(dir + "/metrics-job" +
+                                std::to_string(job) + ".ndjson",
+                            fresh ? std::ios::trunc
+                                  : std::ios::app);
+            if (f)
+                f << line << '\n';
+            // Header frames carry no progress; keep the last real
+            // snapshot for the aggregated progress readout.
+            if (sum.tick || sum.instructions)
+                board.latest[job] = sum;
+        };
+        telep = &tele;
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     auto elapsed = [&t0] {
         return std::chrono::duration<double>(
@@ -337,7 +448,8 @@ CampaignRunner::run()
                 commitFn(i,
                          runCampaignJob(_spec, jobs[i],
                                         _opts.outDir,
-                                        _opts.verifyEquivalence),
+                                        _opts.verifyEquivalence,
+                                        telep),
                          key, false);
             busy.fetch_sub(1, std::memory_order_relaxed);
         }
@@ -366,11 +478,14 @@ CampaignRunner::run()
                              std::chrono::milliseconds(tty ? 250
                                                            : 2000));
                 const CampaignSummary s = agg.summary();
+                const std::string tele_sfx =
+                    telep ? board.progressSuffix() : "";
                 if (tty) {
                     StderrGate::writeStatus(
                         pstream,
                         progressLine(s, busy.load(), nworkers,
-                                     elapsed(), cache_hits.load())
+                                     elapsed(), cache_hits.load(),
+                                     tele_sfx)
                             .c_str());
                 } else if (s.done >= last_done + step ||
                            s.done == s.total) {
@@ -379,7 +494,8 @@ CampaignRunner::run()
                         pstream,
                         (progressLine(s, busy.load(), nworkers,
                                       elapsed(),
-                                      cache_hits.load()) +
+                                      cache_hits.load(),
+                                      tele_sfx) +
                          "\n")
                             .c_str());
                 }
@@ -396,7 +512,7 @@ CampaignRunner::run()
         // thread backend uses — aggregates remain byte-identical.
         const WorkerPoolStats pst =
             runWorkerPool(_spec, jobs, done, _opts, nworkers, busy,
-                          tryCacheFn, commitFn);
+                          tryCacheFn, commitFn, telep);
         out.workerRestarts = pst.workerRestarts;
         out.workerCrashes = pst.workerCrashes;
         out.jobTimeouts = pst.jobTimeouts;

@@ -29,10 +29,37 @@
 #include <vector>
 
 #include "campaign/campaign_spec.hh"
+#include "obs/metrics.hh"
 #include "system/crash_report.hh"
 
 namespace wb
 {
+
+/**
+ * Live-telemetry plumbing handed to job executors (thread backend,
+ * worker processes, degraded fallback). When present and
+ * period != 0, each job's System gets a metrics snapshot stream
+ * whose lines are delivered through @c emit — tagged with the job
+ * index so per-job NDJSON sidecars are deterministic for any worker
+ * count. Telemetry never touches the aggregate JSON/CSV: it lives
+ * beside them, like the durability counters (docs/CAMPAIGN.md).
+ */
+struct TelemetryHooks
+{
+    /** Snapshot period in cycles; 0 disables telemetry. */
+    Tick period = 0;
+    /** Directory for end-of-job exposition sidecars
+     *  (metrics-job<N>.prom); "" = none. */
+    std::string dir;
+    /** Per-line sink. Called from whichever thread runs the job
+     *  (or, process backend, from the supervisor's frame loop);
+     *  implementations synchronise internally. */
+    std::function<void(std::size_t job, const MetricsSummary &sum,
+                       const std::string &line)>
+        emit;
+
+    bool enabled() const { return period != 0; }
+};
 
 /** Everything one finished job left behind. */
 struct JobResult
@@ -236,6 +263,15 @@ class CampaignRunner
          *  journal header doubles as the worker spec description,
          *  so specKind/specText must be set. */
         ProcessPoolOptions process;
+
+        /** Live telemetry: per-job NDJSON snapshot streams (and
+         *  exposition sidecars) under this directory, plus an
+         *  aggregated progress readout; "" = off. Never changes the
+         *  aggregate JSON/CSV. */
+        std::string telemetryDir;
+        /** Telemetry snapshot period in cycles; 0 = the spec's
+         *  obs.metricsPeriod, falling back to 50'000. */
+        Tick telemetryPeriod = 0;
     };
 
     explicit CampaignRunner(const CampaignSpec &spec)
@@ -263,7 +299,8 @@ class CampaignRunner
  *  CampaignSpec::maxRetries and are recorded. */
 JobResult runCampaignJob(const CampaignSpec &spec, const JobSpec &job,
                          const std::string &outDir,
-                         bool verifyEquivalence);
+                         bool verifyEquivalence,
+                         const TelemetryHooks *telemetry = nullptr);
 
 } // namespace wb
 

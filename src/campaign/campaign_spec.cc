@@ -432,6 +432,9 @@ parseCampaignSpec(std::istream &in, CampaignSpec &out,
         } else if (key == "timeline-period") {
             out.obs.timelinePeriod = Tick(
                 std::strtoull(value.c_str(), nullptr, 0));
+        } else if (key == "metrics-period") {
+            out.obs.metricsPeriod = Tick(
+                std::strtoull(value.c_str(), nullptr, 0));
         } else {
             return fail("unknown key '" + key + "'");
         }

@@ -47,6 +47,8 @@ encodeWorkerInit(ByteWriter &w, const WorkerInit &init)
     w.u64(init.memLimitMb);
     w.f64(init.jobTimeoutSeconds);
     w.f64(init.heartbeatSeconds);
+    w.u64(init.metricsPeriod);
+    w.str(init.telemetryDir);
 }
 
 WorkerInit
@@ -59,7 +61,33 @@ decodeWorkerInit(ByteReader &r)
     init.memLimitMb = r.u64();
     init.jobTimeoutSeconds = r.f64();
     init.heartbeatSeconds = r.f64();
+    init.metricsPeriod = r.u64();
+    init.telemetryDir = r.str();
     return init;
+}
+
+void
+encodeTelemetryFrame(ByteWriter &w, const TelemetryFrame &t)
+{
+    w.u64(t.job);
+    w.u64(t.tick);
+    w.u64(t.instructions);
+    w.u64(t.stores);
+    w.u64(t.wbEntries);
+    w.str(t.line);
+}
+
+TelemetryFrame
+decodeTelemetryFrame(ByteReader &r)
+{
+    TelemetryFrame t;
+    t.job = r.u64();
+    t.tick = r.u64();
+    t.instructions = r.u64();
+    t.stores = r.u64();
+    t.wbEntries = r.u64();
+    t.line = r.str();
+    return t;
 }
 
 bool
@@ -119,7 +147,7 @@ FrameReader::next(WireFrame &out)
     const std::uint64_t len = r.u64();
     const std::uint64_t sum = r.u64();
     if (type < std::uint32_t(WireType::Hello) ||
-        type > std::uint32_t(WireType::Shutdown) ||
+        type > std::uint32_t(WireType::Telemetry) ||
         len > maxFrameLen)
         throw ByteCodecError("corrupt frame header");
     if (r.remaining() < len)

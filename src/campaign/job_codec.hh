@@ -45,11 +45,13 @@ enum class WireType : std::uint32_t
     Heartbeat = 4, //!< worker -> supervisor: u64 current job (~0 idle)
     JobDone = 5,   //!< worker -> supervisor: encodeJobResult bytes
     Shutdown = 6,  //!< supervisor -> worker: drain and exit
+    Telemetry = 7, //!< worker -> supervisor: TelemetryFrame bytes
 };
 
 /** Wire protocol version; Hello carries it so a stale binary
- *  re-exec'd as a worker is detected instead of misparsed. */
-constexpr std::uint32_t wireProtocolVersion = 1;
+ *  re-exec'd as a worker is detected instead of misparsed.
+ *  v2: Telemetry frames + metricsPeriod/telemetryDir in Init. */
+constexpr std::uint32_t wireProtocolVersion = 2;
 
 struct WireFrame
 {
@@ -68,7 +70,29 @@ struct WorkerInit
     std::uint64_t memLimitMb = 0;  //!< RLIMIT_AS; 0 = unlimited
     double jobTimeoutSeconds = 0;  //!< arms RLIMIT_CPU; 0 = off
     double heartbeatSeconds = 1.0; //!< heartbeat period
+    std::uint64_t metricsPeriod = 0; //!< telemetry period; 0 = off
+    std::string telemetryDir;      //!< exposition sidecar dir
 };
+
+/**
+ * One live snapshot shipped worker -> supervisor: the rolled-up
+ * progress figures plus the NDJSON line the supervisor appends to
+ * the job's per-job stream. Doubles as a liveness heartbeat: a busy
+ * worker that stops producing Telemetry frames is sim-stalled even
+ * if its wall-clock heartbeat thread still beats (worker_pool.cc).
+ */
+struct TelemetryFrame
+{
+    std::uint64_t job = ~std::uint64_t(0); //!< job index
+    std::uint64_t tick = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t wbEntries = 0;
+    std::string line; //!< one NDJSON snapshot line (no newline)
+};
+
+void encodeTelemetryFrame(ByteWriter &w, const TelemetryFrame &t);
+TelemetryFrame decodeTelemetryFrame(ByteReader &r);
 
 /** JournalHeader byte codec (shared with job_journal.cc so the Init
  *  frame and the journal header are the same encoding). */

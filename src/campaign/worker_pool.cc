@@ -310,6 +310,31 @@ campaignWorkerMain()
         return writeFrame(hb->fd, t, bw);
     };
 
+    // Telemetry: snapshot lines leave as Telemetry frames; the
+    // supervisor owns the sidecar files. Serialised through the
+    // same mutex as heartbeats, so frames never interleave.
+    TelemetryHooks tele;
+    const TelemetryHooks *telep = nullptr;
+    if (init.metricsPeriod > 0) {
+        tele.period = Tick(init.metricsPeriod);
+        tele.dir = init.telemetryDir;
+        tele.emit = [&send](std::size_t job,
+                            const MetricsSummary &sum,
+                            const std::string &line) {
+            TelemetryFrame t;
+            t.job = job;
+            t.tick = sum.tick;
+            t.instructions = sum.instructions;
+            t.stores = sum.stores;
+            t.wbEntries = sum.wbEntries;
+            t.line = line;
+            ByteWriter bw;
+            encodeTelemetryFrame(bw, t);
+            send(WireType::Telemetry, bw);
+        };
+        telep = &tele;
+    }
+
     {
         ByteWriter hello;
         hello.u32(wireProtocolVersion);
@@ -360,7 +385,8 @@ campaignWorkerMain()
         try {
             maybeChaos(init.chaos, i, init.outDir, *hb);
             res = runCampaignJob(spec, jobs[i], init.outDir,
-                                 init.spec.verifyEquivalence);
+                                 init.spec.verifyEquivalence,
+                                 telep);
         } catch (const std::bad_alloc &) {
             res = oomResult(jobs[i], init.memLimitMb);
         }
@@ -396,12 +422,17 @@ struct Worker
     std::string key; //!< cache key of the in-flight job
     SteadyClock::time_point jobStart;
     SteadyClock::time_point lastBeat;
+    /** Last Telemetry frame (telemetry mode only); a busy worker
+     *  whose simulation stops snapshotting is wedged even when its
+     *  wall-clock heartbeat thread still beats. */
+    SteadyClock::time_point lastTelemetry;
 
     enum class Kill
     {
         None,
         Deadline,  //!< per-job wall-clock deadline exceeded
         Heartbeat, //!< no heartbeat within the grace window
+        Stalled,   //!< busy but no telemetry within the grace window
     };
     Kill kill = Kill::None;
 
@@ -419,7 +450,8 @@ runWorkerPool(const CampaignSpec &spec,
               const std::vector<char> &done,
               const CampaignRunner::Options &opts, int nworkers,
               std::atomic<int> &busy, const PoolCacheFn &tryCache,
-              const PoolCommitFn &commit)
+              const PoolCommitFn &commit,
+              const TelemetryHooks *telemetry)
 {
     WorkerPoolStats st;
     const ProcessPoolOptions &P = opts.process;
@@ -456,6 +488,10 @@ runWorkerPool(const CampaignSpec &spec,
     init.memLimitMb = P.jobMemLimitMb;
     init.jobTimeoutSeconds = P.jobTimeoutSeconds;
     init.heartbeatSeconds = P.heartbeatSeconds;
+    if (telemetry && telemetry->enabled()) {
+        init.metricsPeriod = std::uint64_t(telemetry->period);
+        init.telemetryDir = telemetry->dir;
+    }
     ByteWriter initw;
     encodeWorkerInit(initw, init);
     const std::vector<unsigned char> init_bytes = initw.take();
@@ -658,6 +694,17 @@ runWorkerPool(const CampaignSpec &spec,
                               P.heartbeatGraceSeconds);
                 detail = buf;
                 ++st.jobTimeouts;
+            } else if (wk.kill == Worker::Kill::Stalled) {
+                outcome = RunOutcome::Deadlock;
+                verdict = "job-timeout";
+                char buf[112];
+                std::snprintf(buf, sizeof(buf),
+                              "supervisor killed the worker: no "
+                              "telemetry snapshot for %gs "
+                              "(simulation stalled)",
+                              P.heartbeatGraceSeconds);
+                detail = buf;
+                ++st.jobTimeouts;
             } else if (signaled && sig == SIGXCPU) {
                 outcome = RunOutcome::Deadlock;
                 verdict = "job-timeout";
@@ -716,6 +763,22 @@ runWorkerPool(const CampaignSpec &spec,
                 case WireType::Heartbeat:
                     wk.lastBeat = SteadyClock::now();
                     break;
+                case WireType::Telemetry: {
+                    ByteReader r(fr.payload);
+                    const TelemetryFrame t = decodeTelemetryFrame(r);
+                    wk.lastBeat = SteadyClock::now();
+                    wk.lastTelemetry = wk.lastBeat;
+                    if (telemetry && telemetry->emit) {
+                        MetricsSummary sum;
+                        sum.tick = t.tick;
+                        sum.instructions = t.instructions;
+                        sum.stores = t.stores;
+                        sum.wbEntries = t.wbEntries;
+                        telemetry->emit(std::size_t(t.job), sum,
+                                        t.line);
+                    }
+                    break;
+                }
                 case WireType::JobDone: {
                     ByteReader r(fr.payload);
                     JobResult res = decodeJobResult(r);
@@ -793,6 +856,7 @@ runWorkerPool(const CampaignSpec &spec,
                 wk.job = i;
                 wk.key = key;
                 wk.jobStart = SteadyClock::now();
+                wk.lastTelemetry = wk.jobStart;
                 busy.fetch_add(1, std::memory_order_relaxed);
                 ByteWriter bw;
                 bw.u64(i);
@@ -862,7 +926,8 @@ runWorkerPool(const CampaignSpec &spec,
                 }
                 busy.fetch_add(1, std::memory_order_relaxed);
                 res = runCampaignJob(spec, jobs[i], opts.outDir,
-                                     opts.verifyEquivalence);
+                                     opts.verifyEquivalence,
+                                     telemetry);
                 busy.fetch_sub(1, std::memory_order_relaxed);
                 ++st.inProcessJobs;
                 consec_kills.erase(i);
@@ -911,6 +976,18 @@ runWorkerPool(const CampaignSpec &spec,
                        secondsSince(wk.lastBeat) >
                            P.heartbeatGraceSeconds) {
                 wk.kill = Worker::Kill::Heartbeat;
+                ::kill(wk.pid, SIGKILL);
+            } else if (wk.busy && telemetry &&
+                       telemetry->enabled() &&
+                       P.heartbeatGraceSeconds > 0 &&
+                       secondsSince(wk.lastTelemetry) >
+                           P.heartbeatGraceSeconds) {
+                // The wall-clock heartbeat still beats, but the
+                // simulation stopped producing snapshots: the job
+                // is wedged in a way only sim progress reveals.
+                // (Pick the snapshot period well below
+                // grace x sim-speed, or slow jobs will be killed.)
+                wk.kill = Worker::Kill::Stalled;
                 ::kill(wk.pid, SIGKILL);
             }
         }

@@ -93,14 +93,25 @@ using PoolCommitFn = std::function<void(
 /** Execute every not-yet-done job on a supervised pool of worker
  *  processes. Blocks until all jobs are committed or the stop flag
  *  drained the pool. @p done marks jobs preloaded from a resume
- *  journal. */
+ *  journal.
+ *
+ *  With @p telemetry enabled, workers stream Telemetry frames
+ *  (job_codec.hh) that the supervisor routes into the hooks' emit —
+ *  the same sink the thread backend uses, so per-job sidecars stay
+ *  byte-identical across backends. The frames also sharpen hang
+ *  detection: a busy worker whose simulation stops producing
+ *  snapshots for heartbeatGraceSeconds is killed and its job
+ *  recorded as "job-timeout", even while the wall-clock heartbeat
+ *  thread still beats. */
 WorkerPoolStats runWorkerPool(const CampaignSpec &spec,
                               const std::vector<JobSpec> &jobs,
                               const std::vector<char> &done,
                               const CampaignRunner::Options &opts,
                               int nworkers, std::atomic<int> &busy,
                               const PoolCacheFn &tryCache,
-                              const PoolCommitFn &commit);
+                              const PoolCommitFn &commit,
+                              const TelemetryHooks *telemetry =
+                                  nullptr);
 
 /** Worker-process entry point (`wbcampaign --worker`): speak the
  *  frame protocol on fds 3/4 until EOF/Shutdown. Returns the

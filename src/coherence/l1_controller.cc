@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 #include "sim/log.hh"
 
 namespace wb
@@ -39,9 +40,20 @@ L1Controller::L1Controller(std::string name, EventQueue *eq,
       _arqReissues(statGroup().counter("arqReissues")),
       _arqRecovered(statGroup().counter("arqRecovered")),
       _orphansAbsorbed(statGroup().counter("orphansAbsorbed")),
-      _missLatency(statGroup().histogram("missLatency")),
-      _arqBackoff(statGroup().histogram("arqBackoff"))
+      _missLatency(statGroup().histogram("missLatency", "cycles")),
+      _arqBackoff(statGroup().histogram("arqBackoff", "cycles"))
 {}
+
+void
+L1Controller::registerMetrics(MetricsRegistry &metrics)
+{
+    metrics.addGauge(name() + ".mshrs", "entries", [this] {
+        return std::uint64_t(pendingMshrs());
+    });
+    metrics.addGauge(name() + ".writebacks", "entries", [this] {
+        return std::uint64_t(writebackBufferUse());
+    });
+}
 
 int
 L1Controller::home(Addr line) const

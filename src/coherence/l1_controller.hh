@@ -176,6 +176,9 @@ class L1Controller : public SimObject
     /** Evicted dirty lines awaiting their WBAck. */
     std::size_t writebackBufferUse() const { return _wbBuf.size(); }
 
+    /** MSHR / writeback-buffer occupancy gauges for telemetry. */
+    void registerMetrics(MetricsRegistry &metrics) override;
+
     /** @return true while any transaction (MSHR, SoS bypass, or
      *  writeback) is outstanding for @p line. The teardown
      *  reclassifier uses this to prove a dropped request was

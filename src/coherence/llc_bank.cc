@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 #include "sim/log.hh"
 
 namespace wb
@@ -32,6 +33,17 @@ LLCBank::LLCBank(std::string name, EventQueue *eq,
       _dedupHits(statGroup().counter("dedupHits")),
       _dupRequestsIgnored(statGroup().counter("dupRequestsIgnored"))
 {}
+
+void
+LLCBank::registerMetrics(MetricsRegistry &metrics)
+{
+    metrics.addGauge(name() + ".evictionBuffer", "entries", [this] {
+        return std::uint64_t(evictionBufferUse());
+    });
+    metrics.addGauge(name() + ".retryQueue", "entries", [this] {
+        return std::uint64_t(retryQueueUse());
+    });
+}
 
 MsgPtr
 LLCBank::make(CohType t, Addr line, int dst)

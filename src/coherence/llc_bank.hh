@@ -71,6 +71,9 @@ class LLCBank : public SimObject
     std::size_t evictionBufferUse() const { return _evbuf.size(); }
     std::size_t retryQueueUse() const { return _retryQueue.size(); }
 
+    /** Eviction-buffer / retry-queue occupancy gauges. */
+    void registerMetrics(MetricsRegistry &metrics) override;
+
     /** Structured view of one in-flight directory transaction
      *  (crash report / transaction age watchdog). */
     struct TxnInfo

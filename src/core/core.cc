@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 #include "sim/log.hh"
 
 namespace wb
@@ -14,15 +15,15 @@ Core::Core(std::string name, EventQueue *eq, StatRegistry *stats,
            const Program *program)
     : SimObject(std::move(name), eq, stats), _id(id), _cfg(cfg),
       _l1(l1), _prog(program),
-      _cycles(statGroup().counter("cycles")),
-      _committed(statGroup().counter("commits")),
-      _loadsExecuted(statGroup().counter("loads")),
-      _storesCommitted(statGroup().counter("stores")),
-      _atomicsCommitted(statGroup().counter("atomics")),
-      _stallRobFull(statGroup().counter("stallRobFull")),
-      _stallLqFull(statGroup().counter("stallLqFull")),
-      _stallSqFull(statGroup().counter("stallSqFull")),
-      _stallOther(statGroup().counter("stallOther")),
+      _cycles(statGroup().counter("cycles", "cycles")),
+      _committed(statGroup().counter("commits", "instructions")),
+      _loadsExecuted(statGroup().counter("loads", "instructions")),
+      _storesCommitted(statGroup().counter("stores", "instructions")),
+      _atomicsCommitted(statGroup().counter("atomics", "instructions")),
+      _stallRobFull(statGroup().counter("stallRobFull", "cycles")),
+      _stallLqFull(statGroup().counter("stallLqFull", "cycles")),
+      _stallSqFull(statGroup().counter("stallSqFull", "cycles")),
+      _stallOther(statGroup().counter("stallOther", "cycles")),
       _squashBranch(statGroup().counter("squashBranch")),
       _squashDspec(statGroup().counter("squashDspec")),
       _squashInv(statGroup().counter("squashInv")),
@@ -35,12 +36,43 @@ Core::Core(std::string name, EventQueue *eq, StatRegistry *stats,
       _tearoffBinds(statGroup().counter("tearoffBinds")),
       _branchMispredicts(statGroup().counter("branchMispredicts")),
       _branches(statGroup().counter("branches")),
-      _lockdownCycles(statGroup().histogram("lockdownCycles"))
+      _lockdownCycles(statGroup().histogram("lockdownCycles",
+                                            "cycles"))
 {
     _regMap.fill(invalidSeqNum);
     _archWriter.fill(0);
     if (cfg.commitMode == CommitMode::OooWB && !cfg.lockdown)
         fatal("OooWB commit requires a lockdown core");
+}
+
+void
+Core::registerMetrics(MetricsRegistry &metrics)
+{
+    // Live occupancy gauges: the same structures pipelineSnapshot()
+    // reports, polled at each snapshot-stream period.
+    auto gauge = [&](const char *n,
+                     std::function<std::uint64_t()> poll) {
+        metrics.addGauge(name() + "." + n, "entries",
+                         std::move(poll));
+    };
+    gauge("rob", [this] {
+        return std::uint64_t(pipelineSnapshot().rob);
+    });
+    gauge("iq", [this] {
+        return std::uint64_t(pipelineSnapshot().iq);
+    });
+    gauge("lq", [this] {
+        return std::uint64_t(pipelineSnapshot().lq);
+    });
+    gauge("sq", [this] {
+        return std::uint64_t(pipelineSnapshot().sq);
+    });
+    gauge("sb", [this] {
+        return std::uint64_t(pipelineSnapshot().sb);
+    });
+    gauge("locksHeld", [this] {
+        return std::uint64_t(pipelineSnapshot().locksHeld);
+    });
 }
 
 bool

@@ -156,6 +156,9 @@ class Core : public SimObject, public CoreMemIf
     };
     PipelineSnapshot pipelineSnapshot() const;
 
+    /** Pipeline-occupancy gauges for live telemetry. */
+    void registerMetrics(MetricsRegistry &metrics) override;
+
     /** Snapshot witness: architectural state plus every pipeline
      *  structure (ROB/IQ/LQ/SQ/SB/LDT, rename map, predictor,
      *  lockdowns, pending checks, fences, frontier). Unordered

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 
 namespace wb
 {
@@ -29,8 +30,8 @@ Network::Network(std::string name, EventQueue *eq,
       _maxDelivered(std::size_t(num_nodes) * std::size_t(num_nodes) *
                         numVNets,
                     0),
-      _messages(statGroup().counter("messages")),
-      _flitHops(statGroup().counter("flitHops")),
+      _messages(statGroup().counter("messages", "messages")),
+      _flitHops(statGroup().counter("flitHops", "flit-hops")),
       _faultDropped(statGroup().counter("faultDropped")),
       _faultDuplicated(statGroup().counter("faultDuplicated")),
       _faultDelayed(statGroup().counter("faultDelayed")),
@@ -42,11 +43,19 @@ Network::Network(std::string name, EventQueue *eq,
       _oooDelivered{&statGroup().counter("oooDeliveredReq"),
                     &statGroup().counter("oooDeliveredFwd"),
                     &statGroup().counter("oooDeliveredResp")},
-      _vnetFlitHops{&statGroup().counter("flitHopsReq"),
-                    &statGroup().counter("flitHopsFwd"),
-                    &statGroup().counter("flitHopsResp")},
-      _retxBackoff(statGroup().histogram("retxBackoff"))
+      _vnetFlitHops{&statGroup().counter("flitHopsReq", "flit-hops"),
+                    &statGroup().counter("flitHopsFwd", "flit-hops"),
+                    &statGroup().counter("flitHopsResp", "flit-hops")},
+      _retxBackoff(statGroup().histogram("retxBackoff", "cycles"))
 {}
+
+void
+Network::registerMetrics(MetricsRegistry &metrics)
+{
+    metrics.addGauge(name() + ".inFlight", "messages", [this] {
+        return std::uint64_t(inFlight());
+    });
+}
 
 void
 Network::registerNode(int node, Handler handler)

@@ -141,6 +141,9 @@ class Network : public SimObject
      *  which the drain loop must keep waiting for. */
     std::size_t inFlight() const;
 
+    /** In-flight message-ledger gauge for live telemetry. */
+    void registerMetrics(MetricsRegistry &metrics) override;
+
     /** Every undelivered ledger entry, dropped ones included,
      *  ordered by injection id (deterministic). */
     std::vector<InFlightMsg> undelivered() const;

@@ -46,13 +46,13 @@ FlightRecorder::FlightRecorder(StatRegistry *stats,
                                std::size_t capacity)
     : _ring(capacity ? capacity : 1),
       _stats(stats, "obs"),
-      _reqToDir(_stats.histogram("reqToDir")),
-      _dirToData(_stats.histogram("dirToData")),
-      _dataToEnd(_stats.histogram("dataToEnd")),
-      _txnLatency(_stats.histogram("txnLatency")),
-      _lockdownHeld(_stats.histogram("lockdownHeld")),
-      _wbHeld(_stats.histogram("writersBlockHeld")),
-      _overwritten(_stats.counter("eventsOverwritten"))
+      _reqToDir(_stats.histogram("reqToDir", "cycles")),
+      _dirToData(_stats.histogram("dirToData", "cycles")),
+      _dataToEnd(_stats.histogram("dataToEnd", "cycles")),
+      _txnLatency(_stats.histogram("txnLatency", "cycles")),
+      _lockdownHeld(_stats.histogram("lockdownHeld", "cycles")),
+      _wbHeld(_stats.histogram("writersBlockHeld", "cycles")),
+      _overwritten(_stats.counter("eventsOverwritten", "events"))
 {}
 
 void

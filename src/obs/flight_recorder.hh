@@ -39,6 +39,14 @@ struct ObsConfig
     std::size_t flightRecorder = 0;
     /** Time-series gauge sample period in cycles; 0 = disabled. */
     Tick timelinePeriod = 0;
+    /** Metrics snapshot-stream period in cycles; 0 = no stream. */
+    Tick metricsPeriod = 0;
+    /** Build the metrics registry (gauges + exposition) even when no
+     *  snapshot stream is requested. Implied by metricsPeriod != 0. */
+    bool metrics = false;
+
+    /** True when the metrics registry should exist for this run. */
+    bool metricsEnabled() const { return metrics || metricsPeriod != 0; }
 };
 
 /** Structured event kinds (see docs/OBSERVABILITY.md). */

@@ -1,0 +1,364 @@
+#include "obs/metrics.hh"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace wb
+{
+
+const char *
+metricKindName(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+std::string
+MetricsRegistry::componentOf(const std::string &name)
+{
+    auto dot = name.rfind('.');
+    return dot == std::string::npos ? std::string()
+                                    : name.substr(0, dot);
+}
+
+void
+MetricsRegistry::addGauge(const std::string &name,
+                          const std::string &unit,
+                          std::function<std::uint64_t()> poll)
+{
+    assert(poll);
+    assert(!_stats || !_stats->find(name));
+    auto [it, inserted] = _gauges.emplace(name, Gauge{unit,
+                                                     std::move(poll)});
+    (void)it;
+    assert(inserted && "duplicate gauge name");
+}
+
+std::vector<MetricDesc>
+MetricsRegistry::describe() const
+{
+    std::vector<MetricDesc> out;
+    // Both sources iterate in sorted name order; merge them.
+    auto si = _stats ? _stats->all().begin() : decltype(_stats->all().begin())();
+    auto se = _stats ? _stats->all().end() : si;
+    auto gi = _gauges.begin();
+    auto ge = _gauges.end();
+    while (si != se || gi != ge) {
+        if (gi == ge || (si != se && si->first < gi->first)) {
+            MetricDesc d;
+            d.name = si->first;
+            d.kind = dynamic_cast<const Histogram *>(si->second)
+                         ? MetricKind::Histogram
+                         : MetricKind::Counter;
+            d.unit = si->second->unit();
+            d.component = componentOf(d.name);
+            out.push_back(std::move(d));
+            ++si;
+        } else {
+            MetricDesc d;
+            d.name = gi->first;
+            d.kind = MetricKind::Gauge;
+            d.unit = gi->second.unit;
+            d.component = componentOf(d.name);
+            out.push_back(std::move(d));
+            ++gi;
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::values(MetricsSummary *summary) const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    auto note = [&](const std::string &name, std::uint64_t v,
+                    bool is_counter) {
+        out.emplace_back(name, v);
+        if (summary && is_counter) {
+            if (name.starts_with("core.")) {
+                if (name.ends_with(".commits"))
+                    summary->instructions += v;
+                else if (name.ends_with(".stores"))
+                    summary->stores += v;
+            } else if (name.ends_with(".writersBlockEntries")) {
+                summary->wbEntries += v;
+            }
+        }
+    };
+    auto si = _stats ? _stats->all().begin() : decltype(_stats->all().begin())();
+    auto se = _stats ? _stats->all().end() : si;
+    auto gi = _gauges.begin();
+    auto ge = _gauges.end();
+    while (si != se || gi != ge) {
+        if (gi == ge || (si != se && si->first < gi->first)) {
+            if (auto *h = dynamic_cast<const Histogram *>(si->second))
+                note(si->first, h->samples(), false);
+            else if (auto *c = dynamic_cast<const Counter *>(si->second))
+                note(si->first, c->value(), true);
+            ++si;
+        } else {
+            note(gi->first, gi->second.poll(), false);
+            ++gi;
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Prometheus metric-name sanitization: [a-zA-Z0-9_] only. */
+std::string
+promName(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Minimal JSON string escaping (names/units are ASCII already). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+promLabels(const std::string &component, const std::string &unit)
+{
+    std::string out = "{component=\"" + component + "\"";
+    if (!unit.empty())
+        out += ",unit=\"" + unit + "\"";
+    return out; // caller appends extra labels + "}"
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeExposition(std::ostream &os) const
+{
+    // Group series by family ("component.stat" -> family "wb_stat")
+    // so each family gets exactly one TYPE header; std::map keeps
+    // both families and their series deterministically sorted.
+    struct Series
+    {
+        std::string text; // fully rendered sample lines
+    };
+    struct Family
+    {
+        MetricKind kind = MetricKind::Counter;
+        std::map<std::string, std::string> series; // name -> lines
+    };
+    std::map<std::string, Family> families;
+
+    auto familyOf = [](const std::string &name) {
+        auto dot = name.rfind('.');
+        std::string shortName =
+            dot == std::string::npos ? name : name.substr(dot + 1);
+        return "wb_" + promName(shortName);
+    };
+
+    if (_stats) {
+        for (const auto &[name, stat] : _stats->all()) {
+            std::string fam = familyOf(name);
+            std::string comp = componentOf(name);
+            std::string labels = promLabels(comp, stat->unit());
+            auto &f = families[fam];
+            std::string lines;
+            if (auto *h = dynamic_cast<const Histogram *>(stat)) {
+                f.kind = MetricKind::Histogram;
+                for (auto [q, v] :
+                     {std::pair<const char *, std::uint64_t>
+                          {"0.5", h->p50()},
+                      {"0.95", h->p95()},
+                      {"0.99", h->p99()}}) {
+                    lines += fam + labels + ",quantile=\"" + q +
+                             "\"} " + std::to_string(v) + "\n";
+                }
+                lines += fam + "_sum" + labels + "} " +
+                         std::to_string(h->sum()) + "\n";
+                lines += fam + "_count" + labels + "} " +
+                         std::to_string(h->samples()) + "\n";
+            } else if (auto *c = dynamic_cast<const Counter *>(stat)) {
+                f.kind = MetricKind::Counter;
+                lines = fam + labels + "} " +
+                        std::to_string(c->value()) + "\n";
+            }
+            f.series.emplace(name, std::move(lines));
+        }
+    }
+    for (const auto &[name, g] : _gauges) {
+        std::string fam = familyOf(name);
+        auto &f = families[fam];
+        f.kind = MetricKind::Gauge;
+        f.series.emplace(name,
+                         fam + promLabels(componentOf(name), g.unit) +
+                             "} " + std::to_string(g.poll()) + "\n");
+    }
+
+    for (const auto &[fam, f] : families) {
+        const char *type = f.kind == MetricKind::Histogram
+                               ? "summary"
+                               : f.kind == MetricKind::Gauge ? "gauge"
+                                                             : "counter";
+        os << "# TYPE " << fam << " " << type << "\n";
+        for (const auto &[name, lines] : f.series)
+            os << lines;
+    }
+}
+
+MetricsStreamer::MetricsStreamer(const MetricsRegistry *reg,
+                                 Tick period)
+    : _reg(reg), _period(period ? period : 1)
+{}
+
+MetricsStreamer::~MetricsStreamer()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+bool
+MetricsStreamer::openFile(const std::string &spec, std::string &err)
+{
+    if (spec.rfind("fd:", 0) == 0) {
+        errno = 0;
+        char *end = nullptr;
+        long fd = std::strtol(spec.c_str() + 3, &end, 10);
+        if (end == spec.c_str() + 3 || *end != '\0' || fd < 0) {
+            err = "bad descriptor in '" + spec + "'";
+            return false;
+        }
+        int dup_fd = ::dup(static_cast<int>(fd));
+        if (dup_fd < 0) {
+            err = "dup(" + std::to_string(fd) + "): " +
+                  std::strerror(errno);
+            return false;
+        }
+        _file = ::fdopen(dup_fd, "w");
+        if (!_file) {
+            err = "fdopen: " + std::string(std::strerror(errno));
+            ::close(dup_fd);
+            return false;
+        }
+        return true;
+    }
+    _file = std::fopen(spec.c_str(), "w");
+    if (!_file) {
+        err = spec + ": " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+void
+MetricsStreamer::writeLine(const std::string &line,
+                           const MetricsSummary &sum)
+{
+    if (_file) {
+        std::fwrite(line.data(), 1, line.size(), _file);
+        std::fputc('\n', _file);
+        std::fflush(_file);
+    }
+    if (_callback)
+        _callback(sum, line);
+    ++_lines;
+}
+
+void
+MetricsStreamer::emitHeader()
+{
+    if (_headerDone)
+        return;
+    _headerDone = true;
+    std::string line = "{\"schema\":\"wb-metrics-1\",\"period\":" +
+                       std::to_string(_period);
+    if (_hasWall)
+        line += ",\"wall\":{\"startedUnixMs\":" +
+                std::to_string(_wallMs) + "}";
+    line += ",\"metrics\":[";
+    bool first = true;
+    for (const auto &d : _reg->describe()) {
+        if (!first)
+            line += ",";
+        first = false;
+        line += "{\"name\":" + jsonStr(d.name) + ",\"kind\":\"" +
+                metricKindName(d.kind) + "\"";
+        if (!d.unit.empty())
+            line += ",\"unit\":" + jsonStr(d.unit);
+        line += ",\"component\":" + jsonStr(d.component) + "}";
+    }
+    line += "]}";
+    MetricsSummary sum; // header frame carries an empty summary
+    writeLine(line, sum);
+}
+
+void
+MetricsStreamer::emit(Tick tick)
+{
+    emitHeader();
+    if (tick == _lastTick)
+        return;
+    MetricsSummary sum;
+    sum.tick = tick;
+    auto vals = _reg->values(&sum);
+    std::string body;
+    for (const auto &[name, v] : vals) {
+        bool changed;
+        if (!_emittedData) {
+            changed = v != 0;
+        } else {
+            auto it = _last.find(name);
+            changed = it == _last.end() || it->second != v;
+        }
+        if (changed) {
+            if (!body.empty())
+                body += ",";
+            body += jsonStr(name) + ":" + std::to_string(v);
+        }
+        _last[name] = v;
+    }
+    if (body.empty())
+        return;
+    _emittedData = true;
+    _lastTick = tick;
+    writeLine("{\"tick\":" + std::to_string(tick) + ",\"v\":{" +
+                  body + "}}",
+              sum);
+}
+
+void
+MetricsStreamer::finish(Tick tick)
+{
+    emitHeader();
+    emit(tick);
+}
+
+} // namespace wb

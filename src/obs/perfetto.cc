@@ -16,6 +16,7 @@ namespace
 constexpr int pidCores = 1;
 constexpr int pidBanks = 2;
 constexpr int pidVnets = 3;
+constexpr int pidGauges = 4; //!< timeline occupancy counter tracks
 
 int
 pidOf(EvUnit u)
@@ -99,11 +100,27 @@ instant(JsonWriter &w, const ObsEvent &e, const std::string &name,
     w.closeObject();
 }
 
+/** One counter ("C") sample on a named track in the gauge group. */
+void
+counter(JsonWriter &w, Tick ts, const char *name, std::uint64_t v)
+{
+    w.openObject();
+    w.field("name", std::string(name));
+    w.field("ph", std::string("C"));
+    w.field("ts", std::uint64_t(ts));
+    w.fieldSigned("pid", pidGauges);
+    w.openObject("args");
+    w.field("value", v);
+    w.closeObject();
+    w.closeObject();
+}
+
 } // namespace
 
 void
 writePerfettoTrace(std::ostream &os, const FlightRecorder &rec,
-                   int num_cores, int num_banks)
+                   int num_cores, int num_banks,
+                   const TimelineSampler *timeline)
 {
     JsonWriter w(os);
     w.openObject();
@@ -112,6 +129,8 @@ writePerfettoTrace(std::ostream &os, const FlightRecorder &rec,
     metadata(w, "process_name", pidCores, 0, "cores");
     metadata(w, "process_name", pidBanks, 0, "llc banks");
     metadata(w, "process_name", pidVnets, 0, "network vnets");
+    if (timeline && !timeline->samples().empty())
+        metadata(w, "process_name", pidGauges, 0, "occupancy gauges");
     for (int i = 0; i < num_cores; ++i)
         metadata(w, "thread_name", pidCores, i,
                  "core " + std::to_string(i));
@@ -146,6 +165,26 @@ writePerfettoTrace(std::ostream &os, const FlightRecorder &rec,
           default:
             instant(w, e, evKindName(e.kind), evUnitName(e.unit));
             break;
+        }
+    }
+
+    if (timeline) {
+        for (const TimelineSample &s : timeline->samples()) {
+            counter(w, s.cycle, "rob", s.rob);
+            counter(w, s.cycle, "iq", s.iq);
+            counter(w, s.cycle, "lq", s.lq);
+            counter(w, s.cycle, "sq", s.sq);
+            counter(w, s.cycle, "sb", s.sb);
+            counter(w, s.cycle, "lockdowns", s.lockdowns);
+            counter(w, s.cycle, "mshrs", s.mshrs);
+            counter(w, s.cycle, "writebacks", s.writebacks);
+            counter(w, s.cycle, "net inFlight", s.inFlight);
+            counter(w, s.cycle, "flits req",
+                    s.vnetFlitHops[0]);
+            counter(w, s.cycle, "flits fwd",
+                    s.vnetFlitHops[1]);
+            counter(w, s.cycle, "flits resp",
+                    s.vnetFlitHops[2]);
         }
     }
 

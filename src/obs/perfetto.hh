@@ -14,6 +14,7 @@
 #include <ostream>
 
 #include "obs/flight_recorder.hh"
+#include "obs/timeline.hh"
 
 namespace wb
 {
@@ -22,10 +23,14 @@ namespace wb
  * Write the recorder's retained events as trace-event JSON.
  * @p num_cores and @p num_banks size the track-name metadata (banks
  * equal cores in this machine, but the exporter does not assume it).
- * Output is deterministic: same recording, same bytes.
+ * When @p timeline is non-null its gauge samples are exported as
+ * counter ("C") tracks in their own process group, so occupancy
+ * renders in ui.perfetto.dev alongside the event tracks. Output is
+ * deterministic: same recording, same bytes.
  */
 void writePerfettoTrace(std::ostream &os, const FlightRecorder &rec,
-                        int num_cores, int num_banks);
+                        int num_cores, int num_banks,
+                        const TimelineSampler *timeline = nullptr);
 
 } // namespace wb
 

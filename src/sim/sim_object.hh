@@ -17,6 +17,7 @@ namespace wb
 {
 
 class FlightRecorder;
+class MetricsRegistry;
 
 /**
  * A named simulated component bound to an event queue and a stat
@@ -47,6 +48,14 @@ class SimObject
     /** Attach the System's flight recorder (nullptr = no events;
      *  the default, so hooks cost one branch). */
     void setFlightRecorder(FlightRecorder *rec) { _recorder = rec; }
+
+    /** Register live gauges (and any extra metric labels) with the
+     *  System's metrics registry. Called once, at System
+     *  construction, and only when metrics are enabled — the
+     *  default build never reaches this. Counters and histograms
+     *  need no action here: the registry sees them through the
+     *  StatRegistry the component already registers into. */
+    virtual void registerMetrics(MetricsRegistry &) {}
 
   protected:
     StatGroup &statGroup() { return _stats; }

@@ -138,9 +138,10 @@ StatGroup::~StatGroup()
 }
 
 Counter &
-StatGroup::counter(const std::string &name)
+StatGroup::counter(const std::string &name, const std::string &unit)
 {
     auto *c = new Counter(_prefix + "." + name);
+    c->setUnit(unit);
     _owned.push_back(c);
     if (_registry)
         _registry->add(c);
@@ -148,9 +149,10 @@ StatGroup::counter(const std::string &name)
 }
 
 Histogram &
-StatGroup::histogram(const std::string &name)
+StatGroup::histogram(const std::string &name, const std::string &unit)
 {
     auto *h = new Histogram(_prefix + "." + name);
+    h->setUnit(unit);
     _owned.push_back(h);
     if (_registry)
         _registry->add(h);

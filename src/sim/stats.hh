@@ -26,6 +26,12 @@ class StatBase
 
     const std::string &name() const { return _name; }
 
+    /** Measurement unit ("" = dimensionless count). Surfaced only by
+     *  the metrics registry (obs/metrics.hh); never printed in run
+     *  reports, so labelling a stat cannot change report bytes. */
+    const std::string &unit() const { return _unit; }
+    void setUnit(std::string unit) { _unit = std::move(unit); }
+
     /** Render a one-line textual representation of the value. */
     virtual void print(std::ostream &os) const = 0;
 
@@ -34,6 +40,7 @@ class StatBase
 
   private:
     std::string _name;
+    std::string _unit;
 };
 
 /** Monotonically increasing (or at least scalar) event counter. */
@@ -153,11 +160,15 @@ class StatGroup
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
 
-    /** Create and register a counter named "<prefix>.<name>". */
-    Counter &counter(const std::string &name);
+    /** Create and register a counter named "<prefix>.<name>";
+     *  @p unit is an optional measurement-unit label. */
+    Counter &counter(const std::string &name,
+                     const std::string &unit = "");
 
-    /** Create and register a histogram named "<prefix>.<name>". */
-    Histogram &histogram(const std::string &name);
+    /** Create and register a histogram named "<prefix>.<name>";
+     *  @p unit is an optional measurement-unit label. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &unit = "");
 
     const std::string &prefix() const { return _prefix; }
 

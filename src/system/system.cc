@@ -141,6 +141,24 @@ System::System(const SystemConfig &cfg, const Workload &workload)
                 l1->handleMessage(std::move(msg));
         });
     }
+
+    // Metrics registry last, so every component's counters are
+    // already in the StatRegistry and each SimObject can add its
+    // gauges. Gauges never enter the StatRegistry: run reports stay
+    // byte-identical whether or not metrics are enabled.
+    if (cfg.obs.metricsEnabled()) {
+        _metrics = std::make_unique<MetricsRegistry>(&_stats);
+        _net->registerMetrics(*_metrics);
+        for (auto &l1 : _l1s)
+            l1->registerMetrics(*_metrics);
+        for (auto &llc : _llcs)
+            llc->registerMetrics(*_metrics);
+        for (auto &core : _cores)
+            core->registerMetrics(*_metrics);
+        if (cfg.obs.metricsPeriod > 0)
+            _mstream = std::make_unique<MetricsStreamer>(
+                _metrics.get(), cfg.obs.metricsPeriod);
+    }
 }
 
 System::~System() = default;
@@ -168,6 +186,8 @@ System::step(Tick n)
             core->tick();
         if (_timeline && _timeline->due(_cycle))
             sampleTimeline();
+        if (_mstream && _mstream->due(_cycle))
+            _mstream->emit(_cycle);
     }
 }
 
@@ -266,6 +286,12 @@ System::finishRun()
     const Tick done_cycle = _cycle;
     if (!_deadlocked && allDone())
         drainTeardown();
+
+    // Close out the snapshot stream: capture any drift since the
+    // last due period (and the header, for runs shorter than one
+    // period).
+    if (_mstream)
+        _mstream->finish(_cycle);
 
     SimResults r = snapshot();
     r.cycles = done_cycle;

@@ -26,6 +26,7 @@
 #include "network/ideal.hh"
 #include "network/mesh.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 #include "obs/timeline.hh"
 #include "recovery/recovery.hh"
 #include "sim/event_queue.hh"
@@ -240,6 +241,18 @@ class System
     TimelineSampler *timeline() { return _timeline.get(); }
     const TimelineSampler *timeline() const { return _timeline.get(); }
 
+    /** The metrics registry, nullptr unless obs.metricsEnabled(). */
+    MetricsRegistry *metrics() { return _metrics.get(); }
+    const MetricsRegistry *metrics() const { return _metrics.get(); }
+
+    /** The snapshot streamer, nullptr unless obs.metricsPeriod > 0.
+     *  Callers attach sinks (file / callback) before run(). */
+    MetricsStreamer *metricsStream() { return _mstream.get(); }
+    const MetricsStreamer *metricsStream() const
+    {
+        return _mstream.get();
+    }
+
     /** Which hang detector fired ("" while none has). */
     const std::string &deadlockReason() const
     {
@@ -310,6 +323,8 @@ class System
     MainMemory _memory;
     std::unique_ptr<FlightRecorder> _recorder;
     std::unique_ptr<TimelineSampler> _timeline;
+    std::unique_ptr<MetricsRegistry> _metrics;
+    std::unique_ptr<MetricsStreamer> _mstream;
     std::unique_ptr<FaultInjector> _faults;
     std::unique_ptr<Network> _net;
     std::unique_ptr<TsoChecker> _checker;

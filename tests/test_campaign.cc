@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "campaign/campaign_aggregator.hh"
@@ -381,4 +383,108 @@ TEST(CampaignDeterminism, CrashReportsAreBitIdenticalAcrossRuns)
         EXPECT_EQ(a.jobs[i].verdict, b.jobs[i].verdict);
         EXPECT_EQ(a.jobs[i].crashJson, b.jobs[i].crashJson);
     }
+}
+
+namespace
+{
+
+std::string
+freshTeleDir(const std::string &name)
+{
+    const std::string d = testing::TempDir() + "wbtele-" + name;
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+/** Read a sidecar, dropping the wall-clock header key — the one
+ *  field deliberately outside the determinism contract. */
+std::string
+sidecarNoWall(const std::string &path)
+{
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::string s = ss.str();
+    const auto b = s.find("\"wall\":{");
+    if (b != std::string::npos) {
+        const auto e = s.find("},", b);
+        if (e != std::string::npos)
+            s.erase(b, e - b + 2);
+    }
+    return s;
+}
+
+CampaignResult
+runSpecWithTelemetry(const CampaignSpec &spec, int jobs,
+                     const std::string &dir, Tick period)
+{
+    CampaignRunner::Options opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    opts.telemetryDir = dir;
+    opts.telemetryPeriod = period;
+    CampaignRunner runner(spec, opts);
+    return runner.run();
+}
+
+} // namespace
+
+TEST(CampaignSpec, MetricsPeriodManifestKeyReachesJobConfigs)
+{
+    std::istringstream in("name = demo\n"
+                          "workloads = fft\n"
+                          "metrics-period = 12345\n");
+    CampaignSpec spec;
+    std::string err;
+    ASSERT_TRUE(parseCampaignSpec(in, spec, err)) << err;
+    EXPECT_EQ(spec.obs.metricsPeriod, Tick(12345));
+
+    const auto jobs = spec.expand();
+    ASSERT_FALSE(jobs.empty());
+    const SystemConfig cfg = spec.configFor(jobs[0]);
+    EXPECT_EQ(cfg.obs.metricsPeriod, Tick(12345));
+    EXPECT_TRUE(cfg.obs.metricsEnabled());
+}
+
+TEST(CampaignTelemetry, SidecarsAreByteIdenticalAcrossWorkerCounts)
+{
+    const CampaignSpec spec = tinySpec();
+    const std::string d1 = freshTeleDir("j1");
+    const std::string d4 = freshTeleDir("j4");
+    const CampaignResult serial =
+        runSpecWithTelemetry(spec, 1, d1, 5'000);
+    const CampaignResult wide =
+        runSpecWithTelemetry(spec, 4, d4, 5'000);
+    EXPECT_EQ(serial.summary.done, spec.jobCount());
+    EXPECT_EQ(wide.summary.done, spec.jobCount());
+
+    // Telemetry must never leak into the aggregate report: a run
+    // with sidecars enabled reports byte-identically to one without.
+    const CampaignResult plain = runSpec(spec, 2);
+    std::ostringstream jt, jp;
+    writeCampaignJson(jt, spec, serial);
+    writeCampaignJson(jp, spec, plain);
+    EXPECT_EQ(jt.str(), jp.str())
+        << "telemetry perturbed the aggregate JSON";
+
+    // Per-job streams land in sidecars that do not depend on the
+    // worker count, modulo the wall-clock header key.
+    for (std::size_t i = 0; i < spec.jobCount(); ++i) {
+        const std::string name =
+            "/metrics-job" + std::to_string(i) + ".ndjson";
+        ASSERT_TRUE(std::filesystem::exists(d1 + name)) << name;
+        ASSERT_TRUE(std::filesystem::exists(d4 + name)) << name;
+        const std::string a = sidecarNoWall(d1 + name);
+        EXPECT_EQ(a, sidecarNoWall(d4 + name)) << name;
+        EXPECT_NE(a.find("\"schema\":\"wb-metrics-1\""),
+                  std::string::npos);
+        EXPECT_NE(a.find("\"tick\":"), std::string::npos);
+    }
+
+    // The Prometheus exposition sidecar rides along per job.
+    const std::string prom = d1 + "/metrics-job0.prom";
+    ASSERT_TRUE(std::filesystem::exists(prom));
+    EXPECT_NE(sidecarNoWall(prom).find("# TYPE wb_commits counter"),
+              std::string::npos);
 }

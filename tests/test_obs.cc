@@ -14,6 +14,7 @@
 #include <string>
 
 #include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 #include "obs/perfetto.hh"
 #include "obs/timeline.hh"
 #include "sim/log.hh"
@@ -332,6 +333,294 @@ TEST(HistogramPercentiles, BucketUpperBoundsClampedToMax)
     std::ostringstream os;
     h.print(os);
     EXPECT_NE(os.str().find("p95="), std::string::npos);
+}
+
+TEST(HistogramPercentiles, SingleSampleIsEveryPercentile)
+{
+    Histogram h("t");
+    h.sample(37); // bucket [32,64): upper bound clamps to max=37
+    EXPECT_EQ(h.percentile(0), 37u);
+    EXPECT_EQ(h.p50(), 37u);
+    EXPECT_EQ(h.p99(), 37u);
+    EXPECT_EQ(h.percentile(100), 37u);
+    EXPECT_EQ(h.minValue(), 37u);
+    EXPECT_EQ(h.maxValue(), 37u);
+}
+
+TEST(HistogramPercentiles, OutOfRangePercentilesClampToEndpoints)
+{
+    Histogram h("t");
+    h.sample(4);
+    h.sample(400);
+    EXPECT_EQ(h.percentile(-5), 4u);
+    EXPECT_EQ(h.percentile(250), 400u);
+}
+
+TEST(HistogramPercentiles, HugeSamplesSaturateIntoTheLastBucket)
+{
+    // With 4 buckets every value >= 8 saturates into the final
+    // bucket, whose inclusive upper bound is 2^3 - 1 = 7: counts
+    // are never lost (samples/sum/max stay exact) but percentiles
+    // read from a saturated bucket report the bucket bound, so
+    // they under-report. min/max and p0 remain exact.
+    Histogram h("t", 4);
+    h.sample(1);
+    h.sample(std::uint64_t(1) << 40);
+    h.sample(std::uint64_t(1) << 41);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.sum(), 1u + (std::uint64_t(1) << 40) +
+                           (std::uint64_t(1) << 41));
+    EXPECT_EQ(h.maxValue(), std::uint64_t(1) << 41);
+    EXPECT_EQ(h.percentile(0), 1u);
+    EXPECT_EQ(h.p50(), 7u);
+    EXPECT_EQ(h.p99(), 7u);
+    EXPECT_EQ(h.percentile(100), 7u);
+}
+
+// ---------------------------------------------------------------
+// Metrics registry (tentpole)
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** 4-core litmus config with the metrics registry enabled. */
+SystemConfig
+metricsConfig(Tick period)
+{
+    SystemConfig cfg = obsConfig(0, 0);
+    cfg.obs.metricsPeriod = period;
+    if (period == 0)
+        cfg.obs.metrics = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Metrics, OffByDefaultAndInvisibleToReports)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 100);
+    System plain(obsConfig(0, 0), wl);
+    EXPECT_EQ(plain.metrics(), nullptr);
+    EXPECT_EQ(plain.metricsStream(), nullptr);
+    const SimResults rp = plain.run();
+
+    // Same seed with the registry on: simulated results and the
+    // stats dump must be byte-identical — gauges never enter the
+    // StatRegistry, so reports cannot see the metrics layer.
+    System on(metricsConfig(0), wl);
+    ASSERT_NE(on.metrics(), nullptr);
+    EXPECT_EQ(on.metricsStream(), nullptr); // no period, no stream
+    const SimResults ro = on.run();
+
+    EXPECT_EQ(rp.cycles, ro.cycles);
+    EXPECT_EQ(rp.instructions, ro.instructions);
+    std::ostringstream dp, doo;
+    plain.stats().dump(dp);
+    on.stats().dump(doo);
+    EXPECT_EQ(dp.str(), doo.str());
+}
+
+TEST(Metrics, RegistryDescribesTypedSortedMetrics)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 50);
+    System sys(metricsConfig(0), wl);
+    const MetricsRegistry *m = sys.metrics();
+    ASSERT_NE(m, nullptr);
+    EXPECT_GT(m->gaugeCount(), 0u);
+
+    const auto descs = m->describe();
+    ASSERT_GT(descs.size(), m->gaugeCount());
+    bool sawCounter = false, sawGauge = false, sawHisto = false;
+    bool sawUnit = false;
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        if (i) {
+            EXPECT_LT(descs[i - 1].name, descs[i].name);
+        }
+        EXPECT_EQ(descs[i].component,
+                  MetricsRegistry::componentOf(descs[i].name));
+        sawCounter |= descs[i].kind == MetricKind::Counter;
+        sawGauge |= descs[i].kind == MetricKind::Gauge;
+        sawHisto |= descs[i].kind == MetricKind::Histogram;
+        if (descs[i].name == "core.0.commits") {
+            EXPECT_EQ(descs[i].unit, "instructions");
+            sawUnit = true;
+        }
+    }
+    EXPECT_TRUE(sawCounter);
+    EXPECT_TRUE(sawGauge);
+    EXPECT_TRUE(sawHisto);
+    EXPECT_TRUE(sawUnit);
+    EXPECT_EQ(MetricsRegistry::componentOf("l1.3.mshrs"), "l1.3");
+    EXPECT_EQ(MetricsRegistry::componentOf("flat"), "");
+}
+
+TEST(Metrics, SummaryRollsUpCoreCounters)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 100);
+    System sys(metricsConfig(0), wl);
+    const SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    MetricsSummary sum;
+    sys.metrics()->values(&sum);
+    // The roll-up is scoped to core.* counters (l1.N.stores etc.
+    // must not double-count).
+    std::uint64_t commits = 0, stores = 0;
+    for (int i = 0; i < 4; ++i) {
+        const std::string c = "core." + std::to_string(i);
+        commits += sys.stats().counterValue(c + ".commits");
+        stores += sys.stats().counterValue(c + ".stores");
+    }
+    EXPECT_EQ(sum.instructions, commits);
+    EXPECT_EQ(sum.stores, stores);
+    EXPECT_GT(sum.instructions, 0u);
+    EXPECT_LT(sum.stores, sys.stats().sumCounters("stores"));
+}
+
+TEST(Metrics, StreamIsDeltaEncodedAndDeterministic)
+{
+    auto capture = [](std::vector<std::string> &lines) {
+        Workload wl = makeLitmus(LitmusKind::Table1, 100);
+        System sys(metricsConfig(500), wl);
+        MetricsStreamer *ms = sys.metricsStream();
+        EXPECT_NE(ms, nullptr);
+        ms->setCallback([&lines](const MetricsSummary &,
+                                 const std::string &line) {
+            lines.push_back(line);
+        });
+        const SimResults r = sys.run();
+        EXPECT_TRUE(r.completed);
+        EXPECT_EQ(ms->linesEmitted(), lines.size());
+    };
+    std::vector<std::string> a, b;
+    capture(a);
+    capture(b);
+    ASSERT_GE(a.size(), 3u); // header + >= 2 data lines
+    EXPECT_EQ(a, b);         // byte-deterministic for a fixed seed
+
+    // Header: schema + descriptor array, no wall key (never stamped
+    // by the simulator itself).
+    EXPECT_EQ(a[0].compare(0, 24, "{\"schema\":\"wb-metrics-1\""),
+              0);
+    EXPECT_NE(a[0].find("\"period\":500"), std::string::npos);
+    EXPECT_EQ(a[0].find("\"wall\""), std::string::npos);
+    EXPECT_NE(a[0].find("\"kind\":\"gauge\""), std::string::npos);
+
+    // Data lines are tick-keyed and strictly tick-ordered.
+    Tick prev = 0;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].compare(0, 8, "{\"tick\":"), 0) << a[i];
+        const Tick t = Tick(std::strtoull(a[i].c_str() + 8,
+                                          nullptr, 10));
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+    // Delta encoding: a metric that froze after the first snapshot
+    // drops out of later lines. The gauges all read 0 once the
+    // machine drains, so the final line must not repeat every
+    // metric the first data line carried.
+    EXPECT_NE(a[1], a.back());
+}
+
+TEST(Metrics, StreamerSkipsUnchangedPeriodsAndDuplicateTicks)
+{
+    StatRegistry st;
+    StatGroup g(&st, "unit");
+    Counter &c = g.counter("events");
+    MetricsRegistry reg(&st);
+    MetricsStreamer ms(&reg, 10);
+    std::vector<std::string> lines;
+    ms.setCallback([&lines](const MetricsSummary &,
+                            const std::string &line) {
+        lines.push_back(line);
+    });
+
+    ++c;
+    ms.emit(10); // header + first data line
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[1].find("\"unit.events\":1"),
+              std::string::npos);
+
+    ms.emit(20); // nothing changed: no line
+    EXPECT_EQ(lines.size(), 2u);
+
+    c += 2;
+    ms.emit(30);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[2].find("{\"tick\":30,\"v\":{\"unit.events\":3}}"),
+              std::string::npos);
+
+    ms.finish(30); // same tick: no duplicate line
+    EXPECT_EQ(lines.size(), 3u);
+    EXPECT_EQ(ms.linesEmitted(), 3u);
+}
+
+TEST(Metrics, WallStampLivesInASeparateHeaderKey)
+{
+    StatRegistry st;
+    MetricsRegistry reg(&st);
+    MetricsStreamer ms(&reg, 10);
+    std::vector<std::string> lines;
+    ms.setCallback([&lines](const MetricsSummary &,
+                            const std::string &line) {
+        lines.push_back(line);
+    });
+    ms.stampWall(1234567);
+    ms.finish(0);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_NE(lines[0].find("\"wall\":{\"startedUnixMs\":1234567}"),
+              std::string::npos);
+}
+
+TEST(Metrics, ExpositionIsDeterministicProm)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 100);
+    System sys(metricsConfig(0), wl);
+    const SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+
+    std::ostringstream a, b;
+    sys.metrics()->writeExposition(a);
+    sys.metrics()->writeExposition(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    const std::string s = a.str();
+    EXPECT_NE(s.find("# TYPE wb_commits counter"),
+              std::string::npos);
+    EXPECT_NE(s.find("wb_commits{component=\"core.0\","
+                     "unit=\"instructions\"}"),
+              std::string::npos);
+    EXPECT_NE(s.find("# TYPE wb_rob gauge"), std::string::npos);
+    // Histograms render as summaries with quantile series.
+    EXPECT_NE(s.find("quantile=\"0.99\""), std::string::npos);
+    EXPECT_NE(s.find("_count{"), std::string::npos);
+}
+
+TEST(Perfetto, TimelineGaugesExportAsCounterTracks)
+{
+    Workload wl = makeLitmus(LitmusKind::Table1, 100);
+    SystemConfig cfg = obsConfig(1 << 12, 64);
+    System sys(cfg, wl);
+    const SimResults r = sys.run();
+    ASSERT_TRUE(r.completed);
+    ASSERT_NE(sys.timeline(), nullptr);
+
+    std::ostringstream os;
+    writePerfettoTrace(os, *sys.flightRecorder(), 4, 4,
+                       sys.timeline());
+    const std::string t = os.str();
+    EXPECT_NE(t.find("\"occupancy gauges\""), std::string::npos);
+    EXPECT_NE(t.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(t.find("\"name\":\"rob\""), std::string::npos);
+    EXPECT_NE(t.find("\"name\":\"flits resp\""), std::string::npos);
+    EXPECT_EQ(std::count(t.begin(), t.end(), '{'),
+              std::count(t.begin(), t.end(), '}'));
+
+    // Without a timeline the trace must not mention the gauge group.
+    std::ostringstream plain;
+    writePerfettoTrace(plain, *sys.flightRecorder(), 4, 4);
+    EXPECT_EQ(plain.str().find("occupancy gauges"),
+              std::string::npos);
 }
 
 // ---------------------------------------------------------------

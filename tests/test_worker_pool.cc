@@ -22,6 +22,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -114,6 +115,24 @@ expectAggregatesEqual(const CampaignSpec &spec,
     EXPECT_EQ(ca.str(), cb.str());
 }
 
+/** Read a telemetry sidecar, dropping the wall-clock header key —
+ *  the one field deliberately outside the determinism contract. */
+std::string
+sidecarNoWall(const std::string &path)
+{
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::string s = ss.str();
+    const auto b = s.find("\"wall\":{");
+    if (b != std::string::npos) {
+        const auto e = s.find("},", b);
+        if (e != std::string::npos)
+            s.erase(b, e - b + 2);
+    }
+    return s;
+}
+
 bool
 underAddressSanitizer()
 {
@@ -201,6 +220,8 @@ TEST(JobCodec, WorkerInitRoundTrips)
     init.memLimitMb = 512;
     init.jobTimeoutSeconds = 1.5;
     init.heartbeatSeconds = 0.25;
+    init.metricsPeriod = 50'000;
+    init.telemetryDir = "/tmp/tele";
 
     ByteWriter w;
     encodeWorkerInit(w, init);
@@ -223,6 +244,52 @@ TEST(JobCodec, WorkerInitRoundTrips)
     EXPECT_EQ(back.memLimitMb, init.memLimitMb);
     EXPECT_DOUBLE_EQ(back.jobTimeoutSeconds, init.jobTimeoutSeconds);
     EXPECT_DOUBLE_EQ(back.heartbeatSeconds, init.heartbeatSeconds);
+    EXPECT_EQ(back.metricsPeriod, init.metricsPeriod);
+    EXPECT_EQ(back.telemetryDir, init.telemetryDir);
+}
+
+TEST(JobCodec, TelemetryFramesRoundTripOverTheWire)
+{
+    TelemetryFrame t;
+    t.job = 7;
+    t.tick = 123'456;
+    t.instructions = 98'765;
+    t.stores = 4'321;
+    t.wbEntries = 17;
+    t.line = "{\"tick\":123456,\"v\":{\"core.0.commits\":98765}}";
+
+    ByteWriter w;
+    encodeTelemetryFrame(w, t);
+    const auto buf = w.take();
+
+    // Telemetry is a legal wire type end-to-end: frame it through a
+    // real pipe and back out of the checksummed reader.
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    ASSERT_TRUE(writeFrame(fds[1], WireType::Telemetry, buf.data(),
+                           buf.size()));
+    close(fds[1]);
+    std::vector<unsigned char> bytes;
+    unsigned char chunk[256];
+    ssize_t n;
+    while ((n = read(fds[0], chunk, sizeof(chunk))) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    close(fds[0]);
+
+    FrameReader fr;
+    fr.append(bytes.data(), bytes.size());
+    WireFrame f;
+    ASSERT_TRUE(fr.next(f));
+    EXPECT_EQ(f.type, WireType::Telemetry);
+
+    ByteReader r(f.payload.data(), f.payload.size());
+    const TelemetryFrame back = decodeTelemetryFrame(r);
+    EXPECT_EQ(back.job, t.job);
+    EXPECT_EQ(back.tick, t.tick);
+    EXPECT_EQ(back.instructions, t.instructions);
+    EXPECT_EQ(back.stores, t.stores);
+    EXPECT_EQ(back.wbEntries, t.wbEntries);
+    EXPECT_EQ(back.line, t.line);
 }
 
 TEST(WorkerPool, SpecsRebuildIdenticallyFromTheirDescription)
@@ -374,6 +441,72 @@ TEST(WorkerPool, HungJobDiesByDeadlineAsJobTimeout)
     EXPECT_EQ(result.jobs[1].verdict, "job-timeout");
     EXPECT_TRUE(result.jobs[1].infraFailure);
     EXPECT_EQ(result.jobs[1].outcome, RunOutcome::Deadlock);
+}
+
+TEST(WorkerPool, TelemetrySidecarsMatchThreadBackendByteForByte)
+{
+    const CampaignSpec spec = poolSpec();
+
+    const std::string dt = freshDir("tele-threads");
+    CampaignRunner::Options topts;
+    topts.jobs = 1;
+    topts.progress = false;
+    topts.telemetryDir = dt;
+    topts.telemetryPeriod = 5'000;
+    CampaignRunner threads(spec, topts);
+    const CampaignResult a = threads.run();
+
+    const std::string dp = freshDir("tele-procs");
+    CampaignRunner::Options popts =
+        processOpts(freshDir("tele-out"), 2);
+    popts.telemetryDir = dp;
+    popts.telemetryPeriod = 5'000;
+    CampaignRunner procs(spec, popts);
+    const CampaignResult b = procs.run();
+
+    // Same aggregates, and the per-job snapshot streams shipped over
+    // the worker pipe byte-match the thread backend's, modulo the
+    // wall-clock header key.
+    EXPECT_EQ(b.summary.done, spec.jobCount());
+    expectAggregatesEqual(spec, a, b);
+    for (std::size_t i = 0; i < spec.jobCount(); ++i) {
+        const std::string name =
+            "/metrics-job" + std::to_string(i) + ".ndjson";
+        ASSERT_TRUE(std::filesystem::exists(dt + name)) << name;
+        ASSERT_TRUE(std::filesystem::exists(dp + name)) << name;
+        EXPECT_EQ(sidecarNoWall(dt + name), sidecarNoWall(dp + name))
+            << name;
+    }
+    EXPECT_TRUE(
+        std::filesystem::exists(dp + "/metrics-job0.prom"));
+}
+
+TEST(WorkerPool, StalledJobDiesByTelemetryHeartbeat)
+{
+    const CampaignSpec spec = poolSpec();
+    const std::string dir = freshDir("stall");
+    CampaignRunner::Options opts = processOpts(dir);
+    opts.process.chaos = "hang@1";
+    opts.process.heartbeatSeconds = 0.1;
+    opts.process.heartbeatGraceSeconds = 1.0;
+    opts.process.poisonThreshold = 1; // quarantine on first kill
+    opts.telemetryDir = freshDir("stall-tele");
+    opts.telemetryPeriod = 5'000;
+    CampaignRunner runner(spec, opts);
+    const CampaignResult result = runner.run();
+
+    // The hung worker keeps sending wall-clock heartbeats, and no
+    // job deadline is armed (jobTimeoutSeconds = 0): only the
+    // missing telemetry snapshots can expose the stall.
+    EXPECT_EQ(result.summary.done, spec.jobCount());
+    EXPECT_GE(result.jobTimeouts, 1u);
+    EXPECT_EQ(result.quarantined, 1u);
+    EXPECT_EQ(result.jobs[1].verdict, "job-timeout");
+    EXPECT_TRUE(result.jobs[1].infraFailure);
+    EXPECT_EQ(result.jobs[1].outcome, RunOutcome::Deadlock);
+    EXPECT_NE(result.jobs[1].detail.find("no telemetry snapshot"),
+              std::string::npos)
+        << result.jobs[1].detail;
 }
 
 TEST(WorkerPool, OomUnderRlimitIsRecordedGracefully)

@@ -129,6 +129,23 @@ usage()
         "                    chosen job; SPEC = [once:]MODE@INDEX,\n"
         "                    MODE segv|abort|exit|hang|mute|oom\n"
         "                    (implies --process)\n"
+        "  --telemetry DIR   live telemetry: per-job metric\n"
+        "                    snapshot streams (metrics-jobN.ndjson)\n"
+        "                    and end-of-job exposition sidecars\n"
+        "                    (metrics-jobN.prom) under DIR, plus an\n"
+        "                    aggregated progress readout; with\n"
+        "                    --process, snapshots double as sim-\n"
+        "                    progress heartbeats that sharpen hang\n"
+        "                    detection (docs/OBSERVABILITY.md).\n"
+        "                    Aggregate JSON/CSV stay byte-identical\n"
+        "  --telemetry-period N\n"
+        "                    snapshot period in cycles (default:\n"
+        "                    the manifest's metrics-period key, or\n"
+        "                    50000)\n"
+        "  --heartbeat-grace S\n"
+        "                    process backend: kill a worker silent\n"
+        "                    (no heartbeat, or busy with no\n"
+        "                    telemetry) for S seconds (default 30)\n"
         "  --dry-run         print the expanded job list and exit\n"
         "  --no-progress     disable the live progress line\n"
         "SIGINT/SIGTERM finish in-flight jobs, journal them, and\n"
@@ -184,6 +201,9 @@ main(int argc, char **argv)
     int max_respawns = -1;
     int poison_threshold = 0;
     std::string chaos_spec;
+    std::string telemetry_dir;
+    long long telemetry_period = 0;
+    double heartbeat_grace = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -240,7 +260,13 @@ main(int argc, char **argv)
         else if (a == "--chaos-worker") {
             chaos_spec = next();
             process_backend = true;
-        } else if (a == "--dry-run")
+        } else if (a == "--telemetry")
+            telemetry_dir = next();
+        else if (a == "--telemetry-period")
+            telemetry_period = std::atoll(next());
+        else if (a == "--heartbeat-grace")
+            heartbeat_grace = std::atof(next());
+        else if (a == "--dry-run")
             dry_run = true;
         else if (a == "--no-progress")
             progress = false;
@@ -248,6 +274,20 @@ main(int argc, char **argv)
             usage();
             return a == "--help" || a == "-h" ? 0 : 64;
         }
+    }
+
+    if (telemetry_period < 0 ||
+        (telemetry_period != 0 && telemetry_dir.empty())) {
+        std::fprintf(stderr,
+                     telemetry_period < 0
+                         ? "--telemetry-period: must be >= 1\n"
+                         : "--telemetry-period needs --telemetry "
+                           "DIR\n");
+        return 64;
+    }
+    if (heartbeat_grace < 0) {
+        std::fprintf(stderr, "--heartbeat-grace: must be >= 0\n");
+        return 64;
     }
 
     if (!chaos_spec.empty()) {
@@ -400,6 +440,10 @@ main(int argc, char **argv)
     if (poison_threshold > 0)
         opts.process.poisonThreshold = poison_threshold;
     opts.process.chaos = chaos_spec;
+    if (heartbeat_grace > 0)
+        opts.process.heartbeatGraceSeconds = heartbeat_grace;
+    opts.telemetryDir = telemetry_dir;
+    opts.telemetryPeriod = Tick(telemetry_period);
 
     // Self-pipe: the signal handler may only touch the stop flag and
     // this fd, and the supervisor's poll() must wake immediately so a
@@ -450,6 +494,11 @@ main(int argc, char **argv)
                      result.cacheHits == 1 ? "" : "s",
                      result.cacheMisses,
                      result.cacheMisses == 1 ? "" : "es");
+    if (!telemetry_dir.empty())
+        std::fprintf(stderr,
+                     "telemetry: per-job streams under %s "
+                     "(metrics-jobN.ndjson / .prom)\n",
+                     telemetry_dir.c_str());
     if (process_backend)
         std::fprintf(stderr,
                      "supervision: %zu restart%s, %zu crash%s, "

@@ -223,6 +223,64 @@ microCohMsgAlloc()
     return c;
 }
 
+std::string fpString(std::uint64_t h);
+
+/** Metrics guard: the same small benchmark with the metrics
+ *  registry + snapshot streaming on vs off must simulate (and
+ *  fingerprint) identically — the telemetry layer observes, never
+ *  perturbs. A divergence is a hard failure (exit 1), independent
+ *  of any --check baseline; this is how the perf-smoke gate proves
+ *  the metrics-disabled contract. The reported cell timing is the
+ *  metrics-ON run, so a baseline diff also shows the overhead. */
+CellResult
+microMetrics(double scale)
+{
+    CellResult c{"micro.metrics", "micro"};
+    const std::string bench = "fft";
+    Workload wl = makeBenchmark(bench, 16, scale);
+    SystemConfig cfg;
+    cfg.numCores = 16;
+    cfg.core = makeCoreConfig(CoreClass::SLM);
+    cfg.checker = false;
+    cfg.maxCycles = 400'000'000;
+    cfg.setMode(CommitMode::OooWB);
+
+    std::uint64_t fpOff = 0;
+    {
+        System sys(cfg, wl);
+        fpOff = fingerprintResults(sys.run());
+    }
+
+    cfg.obs.metricsPeriod = 10'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    System sys(cfg, wl);
+    std::uint64_t lines = 0;
+    if (sys.metricsStream())
+        sys.metricsStream()->setCallback(
+            [&lines](const MetricsSummary &, const std::string &) {
+                ++lines;
+            });
+    const SimResults r = sys.run();
+    c.wallSeconds = secondsSince(t0);
+    c.events = sys.eventQueue().executed();
+    c.fingerprint = fingerprintResults(r);
+    if (c.fingerprint != fpOff) {
+        std::fprintf(stderr,
+                     "wbperf: METRICS PERTURBATION %s: fingerprint "
+                     "%s with metrics off vs %s with metrics on\n",
+                     c.name.c_str(), fpString(fpOff).c_str(),
+                     fpString(c.fingerprint).c_str());
+        std::exit(1);
+    }
+    if (lines == 0) {
+        std::fprintf(stderr, "wbperf: %s streamed no snapshot "
+                             "lines; the metrics hook is dead\n",
+                     c.name.c_str());
+        std::exit(1);
+    }
+    return c;
+}
+
 /** One fig8 cell: a benchmark profile on the paper's 16-core
  *  machine (bench/bench_common.hh paperConfig) in OooWB mode. */
 CellResult
@@ -451,6 +509,7 @@ main(int argc, char **argv)
         report(microEventQueue());
         report(microMeshSend());
         report(microCohMsgAlloc());
+        report(microMetrics(scale));
     }
     if (!microOnly) {
         const std::vector<CoreClass> classes{

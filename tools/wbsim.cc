@@ -20,6 +20,7 @@
  *   64 usage error
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,8 @@
 #include <iostream>
 #include <memory>
 #include <string>
+
+#include <unistd.h>
 
 #include "obs/perfetto.hh"
 #include "obs/timeline.hh"
@@ -86,6 +89,16 @@ usage()
         "                    sample occupancy gauges every PERIOD\n"
         "                    cycles into FILE (.json => JSON,\n"
         "                    else CSV)\n"
+        "  --metrics-stream FILE,PERIOD\n"
+        "                    stream NDJSON metric snapshots every\n"
+        "                    PERIOD cycles to FILE (or fd:N for an\n"
+        "                    inherited descriptor); byte-\n"
+        "                    deterministic for a given seed\n"
+        "                    (docs/OBSERVABILITY.md)\n"
+        "  --metrics-expo FILE\n"
+        "                    write a Prometheus-style text\n"
+        "                    exposition of all metrics after the\n"
+        "                    run\n"
         "  --checkpoint-at TICK\n"
         "                    pause at cycle TICK, write a state\n"
         "                    snapshot, then continue to completion\n"
@@ -125,6 +138,80 @@ parseMode(const std::string &s, CommitMode &mode)
         mode = CommitMode::OooUnsafe;
     else
         return false;
+    return true;
+}
+
+/** Strict decimal/hex period parse: the whole string, >= 1. */
+bool
+parsePeriod(const std::string &s, Tick &out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size() || v == 0)
+        return false;
+    out = Tick(v);
+    return true;
+}
+
+/**
+ * Split and validate a "FILE,PERIOD" sink spec (--timeline,
+ * --metrics-stream). Rejects a missing comma, an empty path, and a
+ * zero/non-numeric/trailing-garbage period; on failure @p err holds
+ * the complaint for a usage error (exit 64).
+ */
+bool
+parseSinkSpec(const char *flag, const std::string &v,
+              std::string &path, Tick &period, std::string &err)
+{
+    const auto comma = v.rfind(',');
+    if (comma == std::string::npos || comma == 0) {
+        err = std::string(flag) + " needs FILE,PERIOD";
+        return false;
+    }
+    path = v.substr(0, comma);
+    if (!parsePeriod(v.substr(comma + 1), period)) {
+        err = std::string(flag) +
+              " PERIOD must be a number >= 1, got '" +
+              v.substr(comma + 1) + "'";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Probe an output sink for writability before the run so a bad path
+ * is a clean usage error instead of a warning after minutes of
+ * simulation. Paths are opened in append mode (created if missing,
+ * existing bytes untouched); "fd:N" specs are checked with a dup
+ * probe.
+ */
+bool
+probeSinkWritable(const std::string &spec, std::string &err)
+{
+    if (spec.rfind("fd:", 0) == 0) {
+        char *end = nullptr;
+        const long fd = std::strtol(spec.c_str() + 3, &end, 10);
+        if (end == spec.c_str() + 3 || *end != '\0' || fd < 0) {
+            err = "bad descriptor in '" + spec + "'";
+            return false;
+        }
+        const int d = ::dup(static_cast<int>(fd));
+        if (d < 0) {
+            err = spec + ": " + std::strerror(errno);
+            return false;
+        }
+        ::close(d);
+        return true;
+    }
+    std::FILE *f = std::fopen(spec.c_str(), "a");
+    if (!f) {
+        err = spec + ": " + std::strerror(errno);
+        return false;
+    }
+    std::fclose(f);
     return true;
 }
 
@@ -252,6 +339,9 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string timeline_path;
     Tick timeline_period = 0;
+    std::string metrics_stream;
+    Tick metrics_period = 0;
+    std::string metrics_expo;
     Tick checkpoint_at = 0;
     std::string checkpoint_path = "checkpoint.wbsnap";
     std::string restore_path;
@@ -328,22 +418,28 @@ main(int argc, char **argv)
                 a == "--timeline"
                     ? next()
                     : a.substr(std::strlen("--timeline="));
-            const auto comma = v.rfind(',');
-            if (comma == std::string::npos || comma == 0) {
-                std::fprintf(stderr,
-                             "--timeline needs FILE,PERIOD\n");
+            std::string err;
+            if (!parseSinkSpec("--timeline", v, timeline_path,
+                               timeline_period, err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
                 return 64;
             }
-            timeline_path = v.substr(0, comma);
-            timeline_period =
-                Tick(std::strtoull(v.c_str() + comma + 1,
-                                   nullptr, 0));
-            if (timeline_period == 0) {
-                std::fprintf(stderr,
-                             "--timeline PERIOD must be >= 1\n");
+        } else if (a == "--metrics-stream" ||
+                   a.rfind("--metrics-stream=", 0) == 0) {
+            const std::string v =
+                a == "--metrics-stream"
+                    ? next()
+                    : a.substr(std::strlen("--metrics-stream="));
+            std::string err;
+            if (!parseSinkSpec("--metrics-stream", v,
+                               metrics_stream, metrics_period,
+                               err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
                 return 64;
             }
-        } else if (a == "--checkpoint-at" ||
+        } else if (a == "--metrics-expo")
+            metrics_expo = next();
+        else if (a == "--checkpoint-at" ||
                    a.rfind("--checkpoint-at=", 0) == 0) {
             const std::string v =
                 a == "--checkpoint-at"
@@ -482,6 +578,19 @@ main(int argc, char **argv)
         flight_recorder = 65536;
     cfg.obs.flightRecorder = flight_recorder;
     cfg.obs.timelinePeriod = timeline_period;
+    cfg.obs.metricsPeriod = metrics_period;
+    if (!metrics_expo.empty())
+        cfg.obs.metrics = true; // registry without a stream
+
+    // Reject unwritable sinks before burning simulation time.
+    for (const std::string &sink :
+         {timeline_path, metrics_stream, metrics_expo}) {
+        std::string err;
+        if (!sink.empty() && !probeSinkWritable(sink, err)) {
+            std::fprintf(stderr, "cannot write %s\n", err.c_str());
+            return 64;
+        }
+    }
 
     std::printf("workload: %s\nconfig:   %s\n", wl.name.c_str(),
                 describeConfig(cfg).c_str());
@@ -489,6 +598,14 @@ main(int argc, char **argv)
         std::printf("faults:   %s\n", cfg.faults.spec().c_str());
 
     System sys(cfg, wl);
+
+    if (!metrics_stream.empty()) {
+        std::string err;
+        if (!sys.metricsStream()->openFile(metrics_stream, err)) {
+            std::fprintf(stderr, "cannot write %s\n", err.c_str());
+            return 64;
+        }
+    }
 
     const std::uint64_t wl_fp = workloadFingerprint(wl);
 
@@ -724,7 +841,8 @@ main(int argc, char **argv)
                          trace_out.c_str());
         } else {
             writePerfettoTrace(tf, *sys.flightRecorder(),
-                               cfg.numCores, cfg.numCores);
+                               cfg.numCores, cfg.numCores,
+                               sys.timeline());
             std::printf("trace written to %s (open in "
                         "ui.perfetto.dev or chrome://tracing)\n",
                         trace_out.c_str());
@@ -747,6 +865,22 @@ main(int argc, char **argv)
             std::printf("timeline written to %s (%zu samples)\n",
                         timeline_path.c_str(),
                         sys.timeline()->samples().size());
+        }
+    }
+    if (!metrics_stream.empty())
+        std::printf("metrics stream written to %s (%llu lines)\n",
+                    metrics_stream.c_str(),
+                    static_cast<unsigned long long>(
+                        sys.metricsStream()->linesEmitted()));
+    if (!metrics_expo.empty()) {
+        std::ofstream ef(metrics_expo);
+        if (!ef) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         metrics_expo.c_str());
+        } else {
+            sys.metrics()->writeExposition(ef);
+            std::printf("metrics exposition written to %s\n",
+                        metrics_expo.c_str());
         }
     }
     if (!crash_dump.empty() && cr.outcome != RunOutcome::Ok) {
