@@ -67,11 +67,11 @@ BM_MeshSend(benchmark::State &state)
         m->src = int(rng.below(16));
         m->dst = int(rng.below(16));
         m->flits = 5;
-        net.send(std::move(m));
+        net.send(std::move(m), eq.now());
         if (eq.size() > 4096)
-            eq.runAll();
+            net.drain(eq);
     }
-    eq.runAll();
+    net.drain(eq);
 }
 BENCHMARK(BM_MeshSend);
 
@@ -90,7 +90,7 @@ void
 BM_CheckerLoadCompleted(benchmark::State &state)
 {
     EventQueue eq;
-    TsoChecker chk(&eq, 1);
+    TsoChecker chk(1);
     Version v = 0;
     for (int i = 0; i < 1024; ++i)
         chk.storePerformed(0, 0x1000, i, ++v);

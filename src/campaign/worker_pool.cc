@@ -1,5 +1,6 @@
 #include "campaign/worker_pool.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -945,7 +946,39 @@ runWorkerPool(const CampaignSpec &spec,
             }
         if (P.wakeFd >= 0)
             fds.push_back({P.wakeFd, POLLIN, 0});
-        const int pr = ::poll(fds.data(), nfds_t(fds.size()), 200);
+        // Sleep until the nearest supervision deadline instead of a
+        // fixed 200 ms: a sub-second job deadline is enforced on
+        // time, and a quiet pool with lazy deadlines dozes a full
+        // second per wake (worker results and wakeFd writes always
+        // interrupt the poll regardless of the timeout).
+        double nearest = 1.0;
+        const auto nowTp = SteadyClock::now();
+        auto consider = [&nearest](double remain) {
+            if (remain < nearest)
+                nearest = remain;
+        };
+        for (Worker &wk : w) {
+            if (wk.alive && wk.kill == Worker::Kill::None) {
+                if (wk.busy && P.jobTimeoutSeconds > 0)
+                    consider(P.jobTimeoutSeconds -
+                             secondsSince(wk.jobStart));
+                if (P.heartbeatGraceSeconds > 0)
+                    consider(P.heartbeatGraceSeconds -
+                             secondsSince(wk.lastBeat));
+                if (wk.busy && telemetry && telemetry->enabled() &&
+                    P.heartbeatGraceSeconds > 0)
+                    consider(P.heartbeatGraceSeconds -
+                             secondsSince(wk.lastTelemetry));
+            }
+            if (!wk.alive && wk.pendingRespawn)
+                consider(std::chrono::duration<double>(
+                             wk.respawnAt - nowTp)
+                             .count());
+        }
+        const int timeoutMs = std::clamp(
+            int(nearest * 1000.0) + 1, 1, 1000);
+        const int pr =
+            ::poll(fds.data(), nfds_t(fds.size()), timeoutMs);
         if (pr < 0 && errno != EINTR)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(20));

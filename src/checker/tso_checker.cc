@@ -7,9 +7,9 @@
 namespace wb
 {
 
-TsoChecker::TsoChecker(EventQueue *eq, int num_cores,
+TsoChecker::TsoChecker(int num_cores,
                        std::size_t max_versions_per_word)
-    : _eq(eq), _maxVersions(max_versions_per_word),
+    : _maxVersions(max_versions_per_word),
       _watermark(std::size_t(num_cores), 0)
 {}
 
@@ -19,8 +19,8 @@ TsoChecker::report(CoreId core, Addr addr, Version ver,
 {
     if (_violations.size() < 100)
         _violations.push_back(
-            TsoViolation{core, addr, ver, _eq->now(), what});
-    WB_TRACE(LogFlag::Checker, _eq->now(), "tso-checker",
+            TsoViolation{core, addr, ver, _now, what});
+    WB_TRACE(LogFlag::Checker, _now, "tso-checker",
              "VIOLATION core %d addr %llx ver %llu: %s", core,
              static_cast<unsigned long long>(addr),
              static_cast<unsigned long long>(ver), what.c_str());

@@ -40,7 +40,6 @@
 #include "coherence/l1_controller.hh"
 #include "mem/addr.hh"
 #include "mem/data_block.hh"
-#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace wb
@@ -56,12 +55,22 @@ struct TsoViolation
     std::string what;
 };
 
-/** Dynamic TSO checker; see file comment for the algorithm. */
+/** Dynamic TSO checker; see file comment for the algorithm.
+ *
+ *  The checker is a pure event consumer with no tie to a particular
+ *  event queue: the feeder stamps the current simulated time with
+ *  setTime() before dispatching events. Under sharding, per-tile
+ *  CheckerTaps buffer events and replay them here in canonical
+ *  (tick, tile, local-order) order at each epoch barrier. */
 class TsoChecker : public StoreObserver
 {
   public:
-    TsoChecker(EventQueue *eq, int num_cores,
-               std::size_t max_versions_per_word = 4096);
+    explicit TsoChecker(int num_cores,
+                        std::size_t max_versions_per_word = 4096);
+
+    /** Simulated time used to stamp subsequently reported
+     *  violations. */
+    void setTime(Tick now) { _now = now; }
 
     // StoreObserver: a store became globally visible.
     void storePerformed(CoreId core, Addr addr, std::uint64_t value,
@@ -74,7 +83,7 @@ class TsoChecker : public StoreObserver
      * @param forwarded value came from the local SQ/SB.
      */
     void loadCompleted(CoreId core, Addr addr, Version ver,
-                       bool forwarded);
+                       bool forwarded) override;
 
     bool clean() const { return _violations.empty(); }
     const std::vector<TsoViolation> &violations() const
@@ -112,7 +121,7 @@ class TsoChecker : public StoreObserver
     void report(CoreId core, Addr addr, Version ver,
                 const std::string &what);
 
-    EventQueue *_eq;
+    Tick _now = 0;
     std::size_t _maxVersions;
     std::unordered_map<Addr, WordHistory> _words;
     Gsn _gsn = 0;

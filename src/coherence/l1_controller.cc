@@ -70,7 +70,7 @@ L1Controller::make(CohType t, Addr line, int dst)
 void
 L1Controller::send(MsgPtr msg)
 {
-    _net->send(std::move(msg));
+    _net->send(std::move(msg), now());
 }
 
 void

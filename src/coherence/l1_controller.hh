@@ -47,7 +47,9 @@
 namespace wb
 {
 
-/** Observer of globally-visible stores (the TSO checker hooks in). */
+/** Observer of globally-visible memory events (the TSO checker —
+ *  or, under sharding, a per-tile tap that is replayed into the
+ *  checker in canonical order at each epoch barrier). */
 class StoreObserver
 {
   public:
@@ -55,6 +57,14 @@ class StoreObserver
     /** The word at @p addr now has @p value, version @p ver. */
     virtual void storePerformed(CoreId core, Addr addr,
                                 std::uint64_t value, Version ver) = 0;
+    /**
+     * A load completed (it is performed and all older loads have
+     * performed). MUST be called in program order per core.
+     *
+     * @param forwarded value came from the local SQ/SB.
+     */
+    virtual void loadCompleted(CoreId core, Addr addr, Version ver,
+                               bool forwarded) = 0;
 };
 
 /** Private (L1+L2) cache controller of one core. */

@@ -55,11 +55,11 @@ void
 LLCBank::send(MsgPtr msg, Tick lat)
 {
     if (lat == 0) {
-        _net->send(std::move(msg));
+        _net->send(std::move(msg), now());
         return;
     }
     eventQueue().scheduleIn(lat, [this, m = std::move(msg)]() mutable {
-        _net->send(std::move(m));
+        _net->send(std::move(m), now());
     });
 }
 

@@ -35,7 +35,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "checker/tso_checker.hh"
 #include "coherence/core_mem_if.hh"
 #include "sim/bytes.hh"
 #include "coherence/l1_controller.hh"
@@ -96,7 +95,7 @@ class Core : public SimObject, public CoreMemIf
          CoreId id, const CoreConfig &cfg, L1Controller *l1,
          const Program *program);
 
-    void setChecker(TsoChecker *checker) { _checker = checker; }
+    void setChecker(StoreObserver *checker) { _checker = checker; }
 
     /**
      * Observer of every committed (retired) instruction:
@@ -285,7 +284,7 @@ class Core : public SimObject, public CoreMemIf
     CoreConfig _cfg;
     L1Controller *_l1;
     const Program *_prog;
-    TsoChecker *_checker = nullptr;
+    StoreObserver *_checker = nullptr;
     CommitHook _commitHook;
 
     // architectural state

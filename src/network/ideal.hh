@@ -37,23 +37,29 @@ class IdealNetwork : public Network
           _cfg(cfg), _rng(cfg.seed)
     {}
 
-    void
-    send(MsgPtr msg) override
-    {
-        Tick lat;
-        if (msg->src == msg->dst) {
-            lat = _cfg.localLatency;
-            accountTraffic(*msg, 0);
-        } else {
-            lat = _cfg.baseLatency;
-            if (_cfg.jitter > 0)
-                lat += _rng.below(_cfg.jitter + 1);
-            accountTraffic(*msg, 1);
-        }
-        inject(now() + lat, std::move(msg));
-    }
+    Tick lookahead() const override { return _cfg.baseLatency; }
+    Tick localLatency() const override { return _cfg.localLatency; }
 
   protected:
+    Tick
+    routeArrival(Tick snow, const NetMsg &msg) override
+    {
+        // Jitter draws happen in the serial commit phase, in
+        // canonical batch order, keeping the RNG stream — and thus
+        // every adversarial reordering — schedule-independent.
+        (void)msg;
+        Tick lat = _cfg.baseLatency;
+        if (_cfg.jitter > 0)
+            lat += _rng.below(_cfg.jitter + 1);
+        return snow + lat;
+    }
+
+    unsigned
+    hopsOf(const NetMsg &) const override
+    {
+        return 1;
+    }
+
     void
     serializeExtra(ByteWriter &w) const override
     {

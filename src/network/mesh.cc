@@ -22,35 +22,24 @@ MeshNetwork::hops(int src, int dst) const
                     std::abs(yOf(src) - yOf(dst)));
 }
 
-void
-MeshNetwork::send(MsgPtr msg)
+Tick
+MeshNetwork::routeArrival(Tick snow, const NetMsg &msg)
 {
-    assert(msg->src >= 0 && msg->src < numNodes());
-    assert(msg->dst >= 0 && msg->dst < numNodes());
-
-    if (msg->src == msg->dst) {
-        // Node-internal transfer (core <-> its co-located LLC bank).
-        accountTraffic(*msg, 0);
-        inject(now() + _cfg.localLatency, std::move(msg));
-        return;
-    }
-
-    const unsigned num_hops = hops(msg->src, msg->dst);
-    accountTraffic(*msg, num_hops);
-
     // Walk the X-Y route, advancing a simulated departure time
-    // through each directed link's occupancy horizon.
-    Tick t = now();
-    int node = msg->src;
-    const VNet v = msg->vnet;
-    while (node != msg->dst) {
+    // through each directed link's occupancy horizon. Runs in the
+    // serial commit phase, in canonical batch order, so the horizon
+    // state evolves identically for any shard count.
+    Tick t = snow;
+    int node = msg.src;
+    const VNet v = msg.vnet;
+    while (node != msg.dst) {
         Dir d;
         int next;
-        if (xOf(node) != xOf(msg->dst)) {
-            d = xOf(node) < xOf(msg->dst) ? East : West;
+        if (xOf(node) != xOf(msg.dst)) {
+            d = xOf(node) < xOf(msg.dst) ? East : West;
             next = d == East ? node + 1 : node - 1;
         } else {
-            d = yOf(node) < yOf(msg->dst) ? South : North;
+            d = yOf(node) < yOf(msg.dst) ? South : North;
             next = d == South ? node + _cfg.width
                               : node - _cfg.width;
         }
@@ -61,12 +50,12 @@ MeshNetwork::send(MsgPtr msg)
                 t = free_at;
             }
             // The link is serialised for the packet's flits.
-            free_at = t + msg->flits;
+            free_at = t + msg.flits;
         }
         t += _cfg.hopLatency;
         node = next;
     }
-    inject(t, std::move(msg));
+    return t;
 }
 
 } // namespace wb

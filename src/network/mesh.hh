@@ -37,12 +37,23 @@ class MeshNetwork : public Network
     MeshNetwork(std::string name, EventQueue *eq,
                 StatRegistry *stats, const MeshConfig &cfg);
 
-    void send(MsgPtr msg) override;
-
     /** Number of hops between two nodes (for tests). */
     unsigned hops(int src, int dst) const;
 
+    /** Conservative lookahead: one switch-to-switch hop is the
+     *  cheapest any cross-node message can travel. */
+    Tick lookahead() const override { return _cfg.hopLatency; }
+    Tick localLatency() const override { return _cfg.localLatency; }
+
   protected:
+    Tick routeArrival(Tick snow, const NetMsg &msg) override;
+
+    unsigned
+    hopsOf(const NetMsg &msg) const override
+    {
+        return hops(msg.src, msg.dst);
+    }
+
     void
     serializeExtra(ByteWriter &w) const override
     {

@@ -1,5 +1,6 @@
 #include "network/network.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -25,8 +26,12 @@ routeArg(const NetMsg &msg)
 Network::Network(std::string name, EventQueue *eq,
                  StatRegistry *stats, int num_nodes)
     : SimObject(std::move(name), eq, stats), _numNodes(num_nodes),
-      _handlers(num_nodes),
+      _handlers(std::size_t(num_nodes)),
+      _inbox(std::size_t(num_nodes)),
+      _ledgers(std::size_t(num_nodes)),
+      _deltas(std::size_t(num_nodes)),
       _srcSeq(std::size_t(num_nodes), 0),
+      _dedup(std::size_t(num_nodes)),
       _maxDelivered(std::size_t(num_nodes) * std::size_t(num_nodes) *
                         numVNets,
                     0),
@@ -47,7 +52,13 @@ Network::Network(std::string name, EventQueue *eq,
                     &statGroup().counter("flitHopsFwd", "flit-hops"),
                     &statGroup().counter("flitHopsResp", "flit-hops")},
       _retxBackoff(statGroup().histogram("retxBackoff", "cycles"))
-{}
+{
+    _rings.reserve(std::size_t(num_nodes));
+    for (int i = 0; i < num_nodes; ++i)
+        _rings.push_back(std::make_unique<SpscQueue<PendingSend>>());
+}
+
+Network::~Network() = default;
 
 void
 Network::registerMetrics(MetricsRegistry &metrics)
@@ -73,20 +84,22 @@ Network::setRecovery(const RecoveryConfig &rc)
 void
 Network::markRecovered(std::uint64_t id)
 {
-    auto it = _ledger.find(id);
-    if (it == _ledger.end())
+    DstLedger &led = _ledgers[std::size_t(id >> 48)];
+    auto it = led.entries.find(id);
+    if (it == led.entries.end())
         return;
     ++_recovered;
-    _ledger.erase(it);
+    led.entries.erase(it);
 }
 
 std::size_t
 Network::inFlight() const
 {
     std::size_t n = 0;
-    for (const auto &[id, e] : _ledger)
-        if (!e.dropped || e.retxPending)
-            ++n;
+    for (const DstLedger &led : _ledgers)
+        for (const auto &[id, e] : led.entries)
+            if (!e.dropped || e.retxPending)
+                ++n;
     return n;
 }
 
@@ -94,75 +107,185 @@ std::vector<Network::InFlightMsg>
 Network::undelivered() const
 {
     std::vector<InFlightMsg> out;
-    out.reserve(_ledger.size());
-    for (const auto &[id, e] : _ledger)
-        out.push_back(e);
+    for (const DstLedger &led : _ledgers)
+        for (const auto &[id, e] : led.entries)
+            out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const InFlightMsg &a, const InFlightMsg &b) {
+                  return a.id < b.id;
+              });
     return out;
 }
 
+std::uint64_t
+Network::recordLedger(const NetMsg &msg, Tick snow, bool dropped)
+{
+    DstLedger &led = _ledgers[std::size_t(msg.dst)];
+    const std::uint64_t id =
+        (std::uint64_t(std::uint16_t(msg.dst)) << 48) | ++led.nextId;
+    InFlightMsg &e = led.entries[id];
+    e.id = id;
+    e.kind = msg.kind();
+    e.src = msg.src;
+    e.dst = msg.dst;
+    e.vnet = int(msg.vnet);
+    e.addr = msg.debugAddr();
+    e.injectedAt = snow;
+    e.dropped = dropped;
+    return id;
+}
+
 void
-Network::inject(Tick when, MsgPtr msg)
+Network::inboxInsert(int dst, Tick at, InboxEntry entry)
+{
+    _inbox[std::size_t(dst)][at].push_back(std::move(entry));
+}
+
+void
+Network::send(MsgPtr msg, Tick snow)
 {
     assert(msg->src >= 0 && msg->src < _numNodes);
-    // Per-source sequence stamp. Retransmissions and fault
-    // duplicates reuse the original stamp; every fresh injection
-    // (including an ARQ re-issue, which is a new request) gets a
-    // new one.
+    assert(msg->dst >= 0 && msg->dst < _numNodes);
+    // Per-source sequence stamp, issued on the owning shard's
+    // thread: per-source send order is tile-local, so the stamps are
+    // independent of the host-thread schedule. Retransmissions and
+    // fault duplicates reuse the original stamp; every fresh
+    // injection (including an ARQ re-issue, which is a new request)
+    // gets a new one.
     msg->seq = ++_srcSeq[std::size_t(msg->src)];
 
-    WB_EVENT(recorder(), now(), EvKind::NetEnqueue, EvUnit::VNet,
+    WB_EVENT(recorder(), snow, EvKind::NetEnqueue, EvUnit::VNet,
              int(msg->vnet), Addr(msg->debugAddr()), routeArg(*msg));
+
+    if (msg->src != msg->dst) {
+        // Cross-node: buffer for the serial commit phase.
+        _rings[std::size_t(msg->src)]->push(
+            PendingSend{snow, std::move(msg)});
+        return;
+    }
+
+    // Node-internal transfer (core <-> its co-located LLC bank):
+    // never crosses a shard, so it is modelled inline on the calling
+    // thread. Fault injection implies a single-shard run, so the
+    // fault-path counters below may touch shared state directly.
+    const int dst = msg->dst;
+    ++_deltas[std::size_t(dst)].localMessages;
 
     FaultDecision d;
     if (_faults)
         d = _faults->next();
 
-    auto record = [&](bool dropped) {
-        const std::uint64_t id = ++_nextMsgId;
-        InFlightMsg &e = _ledger[id];
-        e.id = id;
-        e.kind = msg->kind();
-        e.src = msg->src;
-        e.dst = msg->dst;
-        e.vnet = int(msg->vnet);
-        e.addr = msg->debugAddr();
-        e.injectedAt = now();
-        e.dropped = dropped;
-        return id;
-    };
-
+    const Tick arrive = snow + localLatency();
     if (d.drop) {
         ++_faultDropped;
-        const std::uint64_t id = record(true);
+        const std::uint64_t id = recordLedger(*msg, snow, true);
         // Transport recovery covers forwards and responses: they
         // carry multi-party transient state no endpoint can rebuild.
         // A dropped *request* created no directory state, so its
         // owner's ARQ re-issue is the recovery path instead; the
         // teardown reclassifier retires this entry once the
         // transaction provably completed.
-        if (_recovery.enabled && msg->vnet != VNet::Request) {
-            const Tick latency = when > now() ? when - now() : 1;
-            scheduleRetransmit(id, std::move(msg), latency, 0);
-        }
+        if (_recovery.enabled && msg->vnet != VNet::Request)
+            scheduleRetransmit(id, std::move(msg), localLatency(), 0);
         return;
     }
     if (d.extraDelay > 0)
         ++_faultDelayed;
     if (d.duplicate) {
         ++_faultDuplicated;
-        const std::uint64_t dup_id = record(false);
-        deliverAt(when + d.extraDelay + d.dupOffset, msg, dup_id);
+        const std::uint64_t dup_id = recordLedger(*msg, snow, false);
+        inboxInsert(dst, arrive + d.extraDelay + d.dupOffset,
+                    InboxEntry{snow, msg->seq, msg->src, 1, dup_id,
+                               msg});
     }
-    const std::uint64_t id = record(false);
-    deliverAt(when + d.extraDelay, std::move(msg), id);
+    const std::uint64_t id = recordLedger(*msg, snow, false);
+    inboxInsert(dst, arrive + d.extraDelay,
+                InboxEntry{snow, msg->seq, msg->src, 0, id,
+                           std::move(msg)});
+}
+
+void
+Network::commitOne(Tick snow, MsgPtr msg)
+{
+    NetMsg &m = *msg;
+    accountTraffic(m, hopsOf(m));
+
+    // Route first, fault decision second — a dropped packet still
+    // occupied the links it crossed before being eaten (and the
+    // legacy single-threaded model ordered it the same way).
+    const Tick arrival = routeArrival(snow, m);
+    assert(arrival > snow && "route must cost at least one tick");
+    const Tick latency = arrival - snow;
+
+    FaultDecision d;
+    if (_faults)
+        d = _faults->next();
+
+    if (d.drop) {
+        ++_faultDropped;
+        const std::uint64_t id = recordLedger(m, snow, true);
+        if (_recovery.enabled && m.vnet != VNet::Request)
+            scheduleRetransmit(id, std::move(msg), latency, 0);
+        return;
+    }
+    if (d.extraDelay > 0)
+        ++_faultDelayed;
+    if (d.duplicate) {
+        ++_faultDuplicated;
+        const std::uint64_t dup_id = recordLedger(m, snow, false);
+        inboxInsert(m.dst, arrival + d.extraDelay + d.dupOffset,
+                    InboxEntry{snow, m.seq, m.src, 1, dup_id, msg});
+    }
+    const std::uint64_t id = recordLedger(m, snow, false);
+    inboxInsert(m.dst, arrival + d.extraDelay,
+                InboxEntry{snow, m.seq, m.src, 0, id,
+                           std::move(msg)});
+}
+
+void
+Network::commitSends()
+{
+    // Drain every source ring, then order the whole batch by the
+    // canonical (send-tick, source, sequence) key. The key is unique
+    // (seq is per-source monotone) and a pure function of per-source
+    // program order, so the processing order — and with it every
+    // fault draw, link claim, jitter draw, and ledger id — is
+    // independent of how sources were interleaved across threads.
+    std::vector<PendingSend> batch;
+    for (auto &ring : _rings)
+        ring->drain([&](PendingSend &&p) {
+            batch.push_back(std::move(p));
+        });
+    std::sort(batch.begin(), batch.end(),
+              [](const PendingSend &a, const PendingSend &b) {
+                  if (a.snow != b.snow)
+                      return a.snow < b.snow;
+                  if (a.msg->src != b.msg->src)
+                      return a.msg->src < b.msg->src;
+                  return a.msg->seq < b.msg->seq;
+              });
+    for (PendingSend &p : batch)
+        commitOne(p.snow, std::move(p.msg));
+
+    // Fold the per-node delivery-statistic deltas into the shared
+    // counters in node order (partition-independent).
+    for (NodeDelta &nd : _deltas) {
+        _messages += nd.localMessages;
+        for (std::size_t v = 0; v < numVNets; ++v) {
+            *_dupDelivered[v] += nd.dup[v];
+            *_oooDelivered[v] += nd.ooo[v];
+        }
+        nd = NodeDelta{};
+    }
 }
 
 void
 Network::scheduleRetransmit(std::uint64_t id, MsgPtr msg,
                             Tick latency, unsigned attempt)
 {
-    auto it = _ledger.find(id);
-    assert(it != _ledger.end());
+    DstLedger &led = _ledgers[std::size_t(id >> 48)];
+    auto it = led.entries.find(id);
+    assert(it != led.entries.end());
     it->second.retxPending = true;
     const Tick backoff = RecoveryConfig::backoff(
         _recovery.retransmitBaseCycles, attempt);
@@ -170,8 +293,9 @@ Network::scheduleRetransmit(std::uint64_t id, MsgPtr msg,
     eventQueue().schedule(
         now() + backoff,
         [this, id, latency, attempt, m = std::move(msg)]() mutable {
-            auto lit = _ledger.find(id);
-            if (lit == _ledger.end())
+            DstLedger &dl = _ledgers[std::size_t(id >> 48)];
+            auto lit = dl.entries.find(id);
+            if (lit == dl.entries.end())
                 return; // entry already resolved
             ++_retransmits;
             WB_EVENT(recorder(), now(), EvKind::NetRetransmit,
@@ -201,30 +325,41 @@ Network::scheduleRetransmit(std::uint64_t id, MsgPtr msg,
             }
             if (d.extraDelay > 0)
                 ++_faultDelayed;
-            deliverAt(now() + latency + d.extraDelay, std::move(m),
-                      id);
+            const Tick fired = now();
+            const std::uint8_t copy = std::uint8_t(
+                2 + (attempt < 253u ? attempt : 253u));
+            const int dst = m->dst;
+            const Tick at = fired + latency + d.extraDelay;
+            inboxInsert(dst, at,
+                        InboxEntry{fired, m->seq, m->src, copy, id,
+                                   std::move(m)});
         },
         EventPriority::Delivery);
 }
 
 void
-Network::accountDelivery(const NetMsg &msg, std::uint64_t id)
+Network::accountDelivery(const InboxEntry &e, Tick at)
 {
-    WB_EVENT(recorder(), now(), EvKind::NetDeliver, EvUnit::VNet,
+    const NetMsg &msg = *e.msg;
+    WB_EVENT(recorder(), at, EvKind::NetDeliver, EvUnit::VNet,
              int(msg.vnet), Addr(msg.debugAddr()), routeArg(msg));
 
-    auto it = _ledger.find(id);
-    if (it != _ledger.end()) {
+    DstLedger &led = _ledgers[std::size_t(msg.dst)];
+    auto it = led.entries.find(e.id);
+    if (it != led.entries.end()) {
         if (it->second.dropped)
-            ++_recovered; // a retransmission landed
-        _ledger.erase(it);
+            ++_recovered; // a retransmission landed (single-shard)
+        led.entries.erase(it);
     }
 
     // Delivery-order statistics (always on): duplicated deliveries
     // and per-channel sequence inversions, split by virtual network.
+    // Accumulated into the destination node's delta — this runs on
+    // the destination shard's thread.
+    NodeDelta &nd = _deltas[std::size_t(msg.dst)];
     const auto v = std::size_t(msg.vnet);
-    if (!_deliveryTracker.accept(msg.src, msg.seq)) {
-        ++*_dupDelivered[v];
+    if (!_dedup[std::size_t(msg.dst)].accept(msg.src, msg.seq)) {
+        ++nd.dup[v];
     } else if (msg.seq != 0) {
         const std::size_t slot =
             (std::size_t(msg.src) * std::size_t(_numNodes) +
@@ -233,29 +368,108 @@ Network::accountDelivery(const NetMsg &msg, std::uint64_t id)
             v;
         std::uint64_t &max_seen = _maxDelivered[slot];
         if (msg.seq < max_seen)
-            ++*_oooDelivered[v];
+            ++nd.ooo[v];
         else
             max_seen = msg.seq;
     }
 }
 
 void
+Network::scheduleDeliveries(int node, Tick t, EventQueue &eq)
+{
+    Inbox &box = _inbox[std::size_t(node)];
+    if (box.empty())
+        return;
+    assert(box.begin()->first >= t && "missed a delivery tick");
+    auto it = box.begin();
+    if (it->first != t)
+        return;
+    std::vector<InboxEntry> entries = std::move(it->second);
+    box.erase(it);
+
+    // Canonical within-tick delivery order.
+    std::sort(entries.begin(), entries.end(),
+              [](const InboxEntry &a, const InboxEntry &b) {
+                  if (a.snow != b.snow)
+                      return a.snow < b.snow;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  if (a.seq != b.seq)
+                      return a.seq < b.seq;
+                  return a.copy < b.copy;
+              });
+
+    assert(_handlers[std::size_t(node)] &&
+           "destination node has no handler");
+    Handler *handler = &_handlers[std::size_t(node)];
+    for (InboxEntry &e : entries) {
+        eq.schedule(
+            t,
+            [this, handler, t, ent = std::move(e)]() mutable {
+                accountDelivery(ent, t);
+                (*handler)(std::move(ent.msg));
+            },
+            EventPriority::Delivery);
+    }
+}
+
+void
+Network::deliverTick(Tick t, EventQueue &eq)
+{
+    commitSends();
+    for (int node = 0; node < _numNodes; ++node)
+        scheduleDeliveries(node, t, eq);
+}
+
+Tick
+Network::nextArrivalTick() const
+{
+    Tick t = maxTick;
+    for (const Inbox &box : _inbox)
+        if (!box.empty() && box.begin()->first < t)
+            t = box.begin()->first;
+    return t;
+}
+
+Tick
+Network::drain(EventQueue &eq, Tick limit)
+{
+    for (;;) {
+        commitSends();
+        const Tick t =
+            std::min(eq.nextTick(), nextArrivalTick());
+        if (t == maxTick || t > limit)
+            break;
+        for (int node = 0; node < _numNodes; ++node)
+            scheduleDeliveries(node, t, eq);
+        eq.runUntil(t);
+    }
+    return eq.now();
+}
+
+void
 Network::serializeState(ByteWriter &w) const
 {
-    w.u64(_nextMsgId);
-    // std::map iterates in key (= injection id) order, so the
-    // ledger encoding is canonical as-is.
-    w.u64(_ledger.size());
-    for (const auto &[id, e] : _ledger) {
-        w.u64(id);
-        w.str(e.kind);
-        w.i64(e.src);
-        w.i64(e.dst);
-        w.i64(e.vnet);
-        w.u64(e.addr);
-        w.u64(e.injectedAt);
-        w.b(e.dropped);
-        w.b(e.retxPending);
+    // Per-destination ledger slices, each already in ascending
+    // composite-id order (std::map).
+    std::size_t total = 0;
+    for (const DstLedger &led : _ledgers) {
+        w.u64(led.nextId);
+        total += led.entries.size();
+    }
+    w.u64(total);
+    for (const DstLedger &led : _ledgers) {
+        for (const auto &[id, e] : led.entries) {
+            w.u64(id);
+            w.str(e.kind);
+            w.i64(e.src);
+            w.i64(e.dst);
+            w.i64(e.vnet);
+            w.u64(e.addr);
+            w.u64(e.injectedAt);
+            w.b(e.dropped);
+            w.b(e.retxPending);
+        }
     }
     w.u64(_srcSeq.size());
     for (std::uint64_t s : _srcSeq)
@@ -263,24 +477,35 @@ Network::serializeState(ByteWriter &w) const
     w.u64(_maxDelivered.size());
     for (std::uint64_t s : _maxDelivered)
         w.u64(s);
-    _deliveryTracker.serializeState(w);
+    for (const DedupFilter &f : _dedup)
+        f.serializeState(w);
+    // Pending inbox arrivals (canonical order within each bucket).
+    for (const Inbox &box : _inbox) {
+        w.u64(box.size());
+        for (const auto &[at, vec] : box) {
+            w.u64(at);
+            w.u64(vec.size());
+            std::vector<InboxEntry> sorted = vec;
+            std::sort(sorted.begin(), sorted.end(),
+                      [](const InboxEntry &a, const InboxEntry &b) {
+                          if (a.snow != b.snow)
+                              return a.snow < b.snow;
+                          if (a.src != b.src)
+                              return a.src < b.src;
+                          if (a.seq != b.seq)
+                              return a.seq < b.seq;
+                          return a.copy < b.copy;
+                      });
+            for (const InboxEntry &e : sorted) {
+                w.u64(e.snow);
+                w.u64(e.seq);
+                w.i64(e.src);
+                w.u8(e.copy);
+                w.u64(e.id);
+            }
+        }
+    }
     serializeExtra(w);
-}
-
-void
-Network::deliverAt(Tick when, MsgPtr msg, std::uint64_t id)
-{
-    assert(msg->dst >= 0 && msg->dst < _numNodes);
-    assert(_handlers[std::size_t(msg->dst)] &&
-           "destination node has no handler");
-    Handler *handler = &_handlers[std::size_t(msg->dst)];
-    eventQueue().schedule(
-        when,
-        [this, handler, id, m = std::move(msg)]() mutable {
-            accountDelivery(*m, id);
-            (*handler)(std::move(m));
-        },
-        EventPriority::Delivery);
 }
 
 } // namespace wb

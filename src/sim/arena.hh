@@ -10,12 +10,16 @@
  * back to ::operator new, so container rebinds that allocate arrays
  * still work).
  *
- * Thread contract: the pool is thread_local, so allocation and
- * deallocation must happen on the same thread. The simulator
- * honours this by construction — a System (and every message or
- * ledger entry it owns) lives and dies on the single thread driving
- * it, which is exactly the System thread-safety contract the
- * campaign runner already relies on (system.hh).
+ * Thread contract: the freelist itself is thread_local, so the hot
+ * path (alloc/free on one thread) stays lock-free. Slab *storage*,
+ * however, is owned by a process-lifetime registry shared by all
+ * threads: a node allocated on shard thread A may legally be freed
+ * on thread B (B simply threads it onto B's local freelist). This is
+ * exactly what the sharded run loop needs — messages are allocated
+ * on the sending shard's thread and released wherever the last
+ * shared_ptr reference dies (the barrier thread or the destination
+ * shard). When a thread exits, its local freelist is donated back to
+ * the registry under a mutex so a later refill can reuse the nodes.
  */
 
 #ifndef WB_SIM_ARENA_HH
@@ -23,6 +27,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <vector>
 
@@ -30,7 +35,7 @@ namespace wb
 {
 
 /** Freelist-of-slabs pool for single objects of type T. Storage is
- *  only returned to the OS at thread exit; steady state recycles. */
+ *  only returned to the OS at process exit; steady state recycles. */
 template <typename T>
 class SlabPool
 {
@@ -41,6 +46,57 @@ class SlabPool
     };
     static constexpr std::size_t slabSize = 64;
 
+    /** Process-lifetime slab owner + donated-freelist exchange. The
+     *  mutex is only taken on slab refill and thread teardown, never
+     *  on the per-allocation fast path. Leaked deliberately at
+     *  process exit (never destroyed), so nodes freed from
+     *  late-dying threads — including statics holding pooled
+     *  shared_ptrs — always have live backing storage. */
+    struct Registry
+    {
+        std::mutex mtx;
+        std::vector<std::unique_ptr<Node[]>> slabs;
+        Node *donated = nullptr;
+
+        // Grab the donated chain if any, else carve a fresh slab.
+        Node *
+        take()
+        {
+            std::lock_guard<std::mutex> g(mtx);
+            if (donated) {
+                Node *chain = donated;
+                donated = nullptr;
+                return chain;
+            }
+            slabs.push_back(std::make_unique<Node[]>(slabSize));
+            Node *slab = slabs.back().get();
+            for (std::size_t i = 0; i + 1 < slabSize; ++i)
+                slab[i].next = &slab[i + 1];
+            slab[slabSize - 1].next = nullptr;
+            return &slab[0];
+        }
+
+        void
+        donate(Node *chain)
+        {
+            if (!chain)
+                return;
+            Node *tail = chain;
+            while (tail->next)
+                tail = tail->next;
+            std::lock_guard<std::mutex> g(mtx);
+            tail->next = donated;
+            donated = chain;
+        }
+    };
+
+    static Registry &
+    registry()
+    {
+        static Registry *r = new Registry(); // intentionally leaked
+        return *r;
+    }
+
   public:
     static SlabPool &
     instance()
@@ -49,11 +105,13 @@ class SlabPool
         return pool;
     }
 
+    ~SlabPool() { registry().donate(_free); }
+
     void *
     alloc()
     {
         if (!_free)
-            refill();
+            _free = registry().take();
         Node *n = _free;
         _free = n->next;
         return n;
@@ -68,18 +126,6 @@ class SlabPool
     }
 
   private:
-    void
-    refill()
-    {
-        _slabs.push_back(std::make_unique<Node[]>(slabSize));
-        Node *slab = _slabs.back().get();
-        for (std::size_t i = 0; i < slabSize; ++i) {
-            slab[i].next = _free;
-            _free = &slab[i];
-        }
-    }
-
-    std::vector<std::unique_ptr<Node[]>> _slabs;
     Node *_free = nullptr;
 };
 

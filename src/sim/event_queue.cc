@@ -117,6 +117,17 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
     ++_size;
 }
 
+void
+EventQueue::scheduleIn(Tick delta, Callback cb, EventPriority prio)
+{
+    if (delta > maxTick - _now)
+        panic("EventQueue: scheduleIn overflow: delta %llu from tick "
+              "%llu wraps the tick space",
+              static_cast<unsigned long long>(delta),
+              static_cast<unsigned long long>(_now));
+    schedule(_now + delta, std::move(cb), prio);
+}
+
 Tick
 EventQueue::nextEventTick(Tick limit) const
 {

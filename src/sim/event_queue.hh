@@ -75,13 +75,16 @@ class EventQueue
     void schedule(Tick when, Callback cb,
                   EventPriority prio = EventPriority::Default);
 
-    /** Schedule @p cb to run @p delta ticks from now. */
-    void
-    scheduleIn(Tick delta, Callback cb,
-               EventPriority prio = EventPriority::Default)
-    {
-        schedule(_now + delta, std::move(cb), prio);
-    }
+    /**
+     * Schedule @p cb to run @p delta ticks from now.
+     *
+     * A delta large enough to wrap the Tick space is its own bug
+     * class — without the check it would alias to a (bogus)
+     * past-tick schedule and be misreported. Raises a distinct
+     * classified panic instead.
+     */
+    void scheduleIn(Tick delta, Callback cb,
+                    EventPriority prio = EventPriority::Default);
 
     /** @return true if no events remain. */
     bool empty() const { return _size == 0; }

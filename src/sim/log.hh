@@ -73,6 +73,14 @@ class Trace
                 unsigned(f)) != 0;
     }
 
+    /** Any flag at all — drivers use this to refuse tracing in
+     *  configurations where interleaved output would be garbage. */
+    static bool
+    anyEnabled()
+    {
+        return mask().load(std::memory_order_relaxed) != 0;
+    }
+
     /** printf-style trace line, prefixed with tick and unit name. */
     static void
     printLine(Tick tick, const char *unit, const char *fmt, ...)

@@ -45,6 +45,16 @@ System::System(const SystemConfig &cfg, const Workload &workload)
     if (int(workload.threads.size()) > cfg.numCores)
         fatal("workload has %d threads but only %d cores",
               int(workload.threads.size()), cfg.numCores);
+    if (cfg.shards < 1 || cfg.shards > cfg.numCores)
+        fatal("shards must be in [1, %d], got %d", cfg.numCores,
+              cfg.shards);
+    if (cfg.shards > 1 &&
+        (cfg.faults.enabled() || cfg.recovery.enabled ||
+         cfg.obs.flightRecorder > 0 || cfg.obs.timelinePeriod > 0 ||
+         cfg.obs.metricsEnabled()))
+        fatal("shards > 1 requires the fault, recovery and "
+              "observability layers to be disabled "
+              "(docs/PARALLEL.md)");
 
     // Pad programs so that every core has one (idle cores halt).
     _programs = workload.threads;
@@ -52,8 +62,25 @@ System::System(const SystemConfig &cfg, const Workload &workload)
         _programs.push_back(Program{Instr{Opcode::Halt, 0, 0, 0, 0,
                                           0}});
 
+    // Stripe memory by home bank before any contents exist, so each
+    // LLC bank (and with it each shard) owns its stripe exclusively.
+    _cfg.mem.numBanks = unsigned(cfg.numCores);
+    _memory.setBanks(cfg.numCores);
     for (const auto &[addr, value] : workload.initMem)
         _memory.poke(addr, value);
+
+    // Tile partition: contiguous, near-equal ranges.
+    _shards.reserve(std::size_t(cfg.shards));
+    _tileShard.assign(std::size_t(cfg.numCores), 0);
+    for (int s = 0; s < cfg.shards; ++s) {
+        auto sh = std::make_unique<Shard>();
+        sh->firstTile = s * cfg.numCores / cfg.shards;
+        sh->endTile = (s + 1) * cfg.numCores / cfg.shards;
+        for (int i = sh->firstTile; i < sh->endTile; ++i)
+            _tileShard[std::size_t(i)] = s;
+        _shards.push_back(std::move(sh));
+    }
+    _doneOnset.assign(std::size_t(cfg.numCores), 0);
 
     if (cfg.faults.enabled()) {
         // Programmatic configs bypass parseFaultSpec's validation;
@@ -76,18 +103,27 @@ System::System(const SystemConfig &cfg, const Workload &workload)
         _timeline =
             std::make_unique<TimelineSampler>(cfg.obs.timelinePeriod);
 
+    // The network rides shard 0's queue (only the single-shard
+    // retransmission path schedules events on it).
+    EventQueue *eq0 = &_shards[0]->eq;
     if (cfg.network == NetworkKind::Mesh) {
         MeshConfig mc = cfg.mesh;
         if (mc.width * mc.height < cfg.numCores)
             fatal("mesh too small for %d cores", cfg.numCores);
-        _net = std::make_unique<MeshNetwork>("net", &_eq, &_stats,
+        _net = std::make_unique<MeshNetwork>("net", eq0, &_stats,
                                              mc);
     } else {
         IdealNetworkConfig ic = cfg.ideal;
         ic.numNodes = cfg.numCores;
-        _net = std::make_unique<IdealNetwork>("net", &_eq, &_stats,
+        _net = std::make_unique<IdealNetwork>("net", eq0, &_stats,
                                               ic);
     }
+    if (_net->localLatency() < 1)
+        fatal("network local latency must be >= 1 (a zero-latency "
+              "self-send would arrive inside its own tick)");
+    _epochLen = _net->lookahead();
+    if (_epochLen < 1)
+        fatal("network lookahead must be >= 1");
     if (_faults)
         _net->setFaultInjector(_faults.get());
     if (cfg.recovery.enabled)
@@ -96,23 +132,23 @@ System::System(const SystemConfig &cfg, const Workload &workload)
         _net->setFlightRecorder(_recorder.get());
 
     if (cfg.checker)
-        _checker =
-            std::make_unique<TsoChecker>(&_eq, cfg.numCores);
+        _checker = std::make_unique<TsoChecker>(cfg.numCores);
 
     CoreConfig core_cfg = cfg.core;
     if (cfg.maxInstructionsPerCore)
         core_cfg.maxInstructions = cfg.maxInstructionsPerCore;
-    _cfg.mem.numBanks = unsigned(cfg.numCores);
 
     for (int i = 0; i < cfg.numCores; ++i) {
+        EventQueue *eq =
+            &_shards[std::size_t(_tileShard[std::size_t(i)])]->eq;
         _l1s.push_back(std::make_unique<L1Controller>(
-            "l1." + std::to_string(i), &_eq, &_stats, i, _cfg.mem,
+            "l1." + std::to_string(i), eq, &_stats, i, _cfg.mem,
             _net.get(), cfg.numCores));
         _llcs.push_back(std::make_unique<LLCBank>(
-            "llc." + std::to_string(i), &_eq, &_stats, i, _cfg.mem,
+            "llc." + std::to_string(i), eq, &_stats, i, _cfg.mem,
             _net.get(), &_memory));
         _cores.push_back(std::make_unique<Core>(
-            "core." + std::to_string(i), &_eq, &_stats, i, core_cfg,
+            "core." + std::to_string(i), eq, &_stats, i, core_cfg,
             _l1s.back().get(), &_programs[std::size_t(i)]));
         _l1s.back()->setCore(_cores.back().get());
         if (cfg.recovery.enabled) {
@@ -120,8 +156,13 @@ System::System(const SystemConfig &cfg, const Workload &workload)
             _llcs.back()->setRecovery(cfg.recovery);
         }
         if (_checker) {
-            _l1s.back()->setObserver(_checker.get());
-            _cores.back()->setChecker(_checker.get());
+            // Per-tile tap: events are buffered on the owning
+            // shard's thread and replayed into the checker in
+            // canonical order at each epoch barrier.
+            _taps.push_back(std::make_unique<CheckerTap>());
+            _taps.back()->bind(eq);
+            _l1s.back()->setObserver(_taps.back().get());
+            _cores.back()->setChecker(_taps.back().get());
         }
         if (_recorder) {
             _l1s.back()->setFlightRecorder(_recorder.get());
@@ -159,9 +200,164 @@ System::System(const SystemConfig &cfg, const Workload &workload)
             _mstream = std::make_unique<MetricsStreamer>(
                 _metrics.get(), cfg.obs.metricsPeriod);
     }
+
+    // Persistent workers for shards 1..S-1; shard 0 runs on the
+    // driving thread. Workers park on the epoch-release pulse.
+    for (std::size_t s = 1; s < _shards.size(); ++s)
+        _threads.emplace_back([this, s] { workerLoop(s); });
 }
 
-System::~System() = default;
+System::~System() { stopWorkers(); }
+
+void
+System::stopWorkers()
+{
+    if (_threads.empty())
+        return;
+    _shutdown.store(true, std::memory_order_release);
+    for (std::thread &t : _threads)
+        t.join();
+    _threads.clear();
+}
+
+void
+System::workerLoop(std::size_t shard_index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        while (_epochSeq.load(std::memory_order_acquire) == seen) {
+            if (_shutdown.load(std::memory_order_acquire))
+                return;
+            std::this_thread::yield();
+        }
+        ++seen;
+        runShardTo(*_shards[shard_index], _epochTarget);
+        _arrived.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+System::runShardTo(Shard &sh, Tick target)
+{
+    for (Tick c = sh.cycle + 1; c <= target; ++c) {
+        // Arrivals first (they were placed by the previous barrier
+        // commit or by same-shard local sends), then the queue, then
+        // the component tick phases in the legacy order.
+        for (int i = sh.firstTile; i < sh.endTile; ++i)
+            _net->scheduleDeliveries(i, c, sh.eq);
+        sh.eq.runUntil(c);
+        for (int i = sh.firstTile; i < sh.endTile; ++i)
+            _l1s[std::size_t(i)]->tick();
+        for (int i = sh.firstTile; i < sh.endTile; ++i)
+            _llcs[std::size_t(i)]->tick();
+        for (int i = sh.firstTile; i < sh.endTile; ++i) {
+            Core &core = *_cores[std::size_t(i)];
+            core.tick();
+            if (!_doneOnset[std::size_t(i)] && core.done())
+                _doneOnset[std::size_t(i)] = c;
+        }
+        // Observability hooks are single-shard-only (enforced in the
+        // constructor), so they keep their legacy per-tick cadence.
+        if (_timeline && _timeline->due(c))
+            sampleTimeline(c);
+        if (_mstream && _mstream->due(c))
+            _mstream->emit(c);
+    }
+    sh.cycle = target;
+}
+
+void
+System::barrierCommit()
+{
+    _net->commitSends();
+
+    if (!_checker || _taps.empty())
+        return;
+    // Replay the per-tile taps in canonical (tick, tile, local)
+    // order. Cross-tile store->load observation always crosses the
+    // network (>= 1 tick), so the tile-major same-tick tie-break
+    // cannot reorder any pair the checker is sensitive to.
+    struct Item
+    {
+        CheckerTap::Rec rec;
+        int tile;
+    };
+    std::vector<Item> all;
+    for (int i = 0; i < _cfg.numCores; ++i) {
+        for (CheckerTap::Rec &r : _taps[std::size_t(i)]->take())
+            all.push_back(Item{r, i});
+    }
+    if (all.empty())
+        return;
+    std::sort(all.begin(), all.end(),
+              [](const Item &a, const Item &b) {
+                  if (a.rec.when != b.rec.when)
+                      return a.rec.when < b.rec.when;
+                  if (a.tile != b.tile)
+                      return a.tile < b.tile;
+                  return a.rec.localSeq < b.rec.localSeq;
+              });
+    for (const Item &it : all) {
+        _checker->setTime(it.rec.when);
+        if (it.rec.isStore)
+            _checker->storePerformed(it.rec.core, it.rec.addr,
+                                     it.rec.value, it.rec.ver);
+        else
+            _checker->loadCompleted(it.rec.core, it.rec.addr,
+                                    it.rec.ver, it.rec.forwarded);
+    }
+}
+
+void
+System::runEpoch(Tick target)
+{
+    assert(target > _cycle);
+    if (!threaded()) {
+        for (auto &sh : _shards)
+            runShardTo(*sh, target);
+    } else {
+        _epochTarget = target;
+        _arrived.store(0, std::memory_order_relaxed);
+        // Release pulse: publishes _epochTarget to the workers.
+        _epochSeq.fetch_add(1, std::memory_order_release);
+        runShardTo(*_shards[0], target);
+        const auto want = std::uint32_t(_threads.size());
+        while (_arrived.load(std::memory_order_acquire) != want)
+            std::this_thread::yield();
+    }
+    _cycle = target;
+    barrierCommit();
+}
+
+Tick
+System::nextBoundary(Tick c) const
+{
+    Tick nb = (c / _epochLen + 1) * _epochLen;
+    if (_cfg.watchdogPollCycles) {
+        const Tick np = (c / _cfg.watchdogPollCycles + 1) *
+                        _cfg.watchdogPollCycles;
+        nb = std::min(nb, np);
+    }
+    return nb;
+}
+
+std::uint64_t
+System::eventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sh : _shards)
+        n += sh->eq.executed();
+    return n;
+}
+
+bool
+System::queuesEmpty() const
+{
+    for (const auto &sh : _shards)
+        if (!sh->eq.empty())
+            return false;
+    return true;
+}
 
 bool
 System::allDone() const
@@ -175,27 +371,20 @@ System::allDone() const
 void
 System::step(Tick n)
 {
-    for (Tick i = 0; i < n; ++i) {
-        ++_cycle;
-        _eq.runUntil(_cycle);
-        for (auto &l1 : _l1s)
-            l1->tick();
-        for (auto &llc : _llcs)
-            llc->tick();
-        for (auto &core : _cores)
-            core->tick();
-        if (_timeline && _timeline->due(_cycle))
-            sampleTimeline();
-        if (_mstream && _mstream->due(_cycle))
-            _mstream->emit(_cycle);
-    }
+    // Epoch-quantised advance. Commits at intermediate (clamped)
+    // barriers are outcome-neutral: the commit order is tick-major
+    // canonical, so splitting one batch into per-epoch batches
+    // yields identical arrivals, claims and draws.
+    const Tick target = _cycle + n;
+    while (_cycle < target)
+        runEpoch(std::min(target, nextBoundary(_cycle)));
 }
 
 void
-System::sampleTimeline()
+System::sampleTimeline(Tick cycle)
 {
     TimelineSample s;
-    s.cycle = _cycle;
+    s.cycle = cycle;
     for (const auto &c : _cores) {
         const auto ps = c->pipelineSnapshot();
         s.rob += ps.rob;
@@ -239,7 +428,21 @@ System::runToCycle(Tick target)
     }
     const Tick stop = std::min(target, _cfg.maxCycles);
     while (_cycle < stop) {
-        step();
+        const Tick b = std::min(stop, nextBoundary(_cycle));
+        runEpoch(b);
+
+        // Completion and watchdog checks run only at *natural*
+        // boundaries (epoch or poll grid): an arbitrary pause
+        // target must not introduce extra check points, or a
+        // paused-and-resumed run could classify differently from an
+        // uninterrupted one.
+        const bool natural =
+            b % _epochLen == 0 ||
+            (_cfg.watchdogPollCycles &&
+             b % _cfg.watchdogPollCycles == 0);
+        if (!natural)
+            continue;
+
         if (allDone())
             return false;
 
@@ -282,10 +485,20 @@ System::finishRun()
 {
     // Record the cycle the workload finished (or wedged) at before
     // the teardown drain, so reported performance is comparable
-    // whether or not a drain was needed.
-    const Tick done_cycle = _cycle;
-    if (!_deadlocked && allDone())
+    // whether or not a drain was needed. For a completed run the
+    // finish cycle is the latest per-core done onset — the cycle a
+    // per-tick completion scan would have stopped at — which makes
+    // the reported number independent of the epoch quantisation
+    // (and therefore of the shard count).
+    Tick done_cycle = _cycle;
+    if (!_deadlocked && allDone()) {
+        Tick latest = 0;
+        for (Tick t : _doneOnset)
+            latest = std::max(latest, t);
+        if (latest)
+            done_cycle = latest;
         drainTeardown();
+    }
 
     // Close out the snapshot stream: capture any drift since the
     // last due period (and the header, for runs shorter than one
@@ -443,11 +656,19 @@ System::drainTeardown()
 {
     // Everything still moving now is protocol housekeeping
     // (writebacks, prefetch fills, eviction recalls): give it a
-    // bounded window to settle before judging leaks.
-    for (Tick spent = 0; spent < _cfg.teardownDrainCycles; ++spent) {
-        if (quiescent() && _eq.empty())
+    // bounded window to settle before judging leaks. Epoch-
+    // quantised like the main loop; the idle probe runs at barriers
+    // (pending inbox arrivals keep the ledger non-empty, so
+    // quiescent() covers them).
+    Tick spent = 0;
+    while (spent < _cfg.teardownDrainCycles) {
+        if (quiescent() && queuesEmpty())
             break;
-        step();
+        const Tick b =
+            std::min(_cycle + (_cfg.teardownDrainCycles - spent),
+                     nextBoundary(_cycle));
+        spent += b - _cycle;
+        runEpoch(b);
         // A dropped message can wedge a prefetch or writeback even
         // though every core halted; classify it instead of spinning
         // through the whole drain budget.

@@ -11,11 +11,14 @@
 #define WB_SYSTEM_SYSTEM_HH
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "checker/checker_tap.hh"
 #include "checker/tso_checker.hh"
 #include "coherence/config.hh"
 #include "coherence/l1_controller.hh"
@@ -52,6 +55,15 @@ struct SystemConfig
     MeshConfig mesh;
     IdealNetworkConfig ideal;
     bool checker = true;         //!< attach the dynamic TSO checker
+    /**
+     * Host threads to shard the simulation across (conservative
+     * PDES; docs/PARALLEL.md). The system is partitioned by tile
+     * (core + L1 + LLC bank); shards advance in barrier-synced
+     * epochs bounded by the network's minimum cross-node latency.
+     * Results are byte-identical for every value. Values > 1
+     * require the fault/recovery/observability layers to be off.
+     */
+    int shards = 1;
     Tick maxCycles = 100'000'000;
     Tick watchdogCycles = 200'000; //!< no commit anywhere => deadlock
     std::uint64_t maxInstructionsPerCore = 0; //!< 0 = run to Halt
@@ -210,7 +222,19 @@ class System
     bool allDone() const;
 
     // component access for tests and tools
-    EventQueue &eventQueue() { return _eq; }
+
+    /** The primary (shard 0) event queue. With shards == 1 this is
+     *  the queue driving the whole simulation. */
+    EventQueue &eventQueue() { return _shards[0]->eq; }
+
+    /** Events executed across every shard queue (invariant across
+     *  shard counts for a given workload). */
+    std::uint64_t eventsExecuted() const;
+
+    int numShards() const { return int(_shards.size()); }
+
+    /** Barrier-synced epoch length (the network lookahead). */
+    Tick epochLength() const { return _epochLen; }
     StatRegistry &stats() { return _stats; }
     MainMemory &memory() { return _memory; }
     TsoChecker *checker() { return _checker.get(); }
@@ -315,10 +339,50 @@ class System
     void reclassifyRecoveredRequests();
 
     /** Push one row of gauges into the timeline sampler. */
-    void sampleTimeline();
+    void sampleTimeline(Tick cycle);
+
+    /**
+     * One shard: a contiguous tile range [firstTile, endTile) with
+     * its own event queue, advanced by exactly one thread at a time
+     * (worker thread during an epoch, barrier thread between).
+     */
+    struct Shard
+    {
+        EventQueue eq;
+        int firstTile = 0;
+        int endTile = 0; //!< exclusive
+        Tick cycle = 0;  //!< local time, == System cycle at barriers
+    };
+
+    /** Advance one shard tick by tick to @p target (shard phase:
+     *  deliveries, events, component ticks, done-onset tracking). */
+    void runShardTo(Shard &sh, Tick target);
+
+    /** Advance every shard to @p target, then run the serial
+     *  barrier phase (message commit, checker replay). */
+    void runEpoch(Tick target);
+
+    /** Next natural epoch boundary after cycle @p c (epoch grid
+     *  joined with the watchdog poll grid). Natural boundaries are
+     *  an intrinsic function of the cycle number, so completion and
+     *  watchdog checks land on the same cycles no matter where a
+     *  pause/resume split the run. */
+    Tick nextBoundary(Tick c) const;
+
+    /** True when shard workers exist and are parked (shards > 1). */
+    bool threaded() const { return !_threads.empty(); }
+
+    /** Serial barrier phase: canonical message commit + checker-tap
+     *  replay. */
+    void barrierCommit();
+
+    /** All shard queues drained (teardown idle check). */
+    bool queuesEmpty() const;
+
+    void workerLoop(std::size_t shard_index);
+    void stopWorkers();
 
     SystemConfig _cfg;
-    EventQueue _eq;
     StatRegistry _stats;
     MainMemory _memory;
     std::unique_ptr<FlightRecorder> _recorder;
@@ -328,10 +392,27 @@ class System
     std::unique_ptr<FaultInjector> _faults;
     std::unique_ptr<Network> _net;
     std::unique_ptr<TsoChecker> _checker;
+    std::vector<std::unique_ptr<CheckerTap>> _taps; //!< per tile
     std::vector<std::unique_ptr<L1Controller>> _l1s;
     std::vector<std::unique_ptr<LLCBank>> _llcs;
     std::vector<std::unique_ptr<Core>> _cores;
     std::vector<Program> _programs; //!< padded to numCores
+
+    // sharded execution engine
+    std::vector<std::unique_ptr<Shard>> _shards;
+    std::vector<int> _tileShard;     //!< tile -> owning shard
+    Tick _epochLen = 1;              //!< network lookahead
+    std::vector<std::thread> _threads; //!< workers for shards 1..S-1
+    std::atomic<std::uint64_t> _epochSeq{0}; //!< release pulse
+    std::atomic<std::uint32_t> _arrived{0};  //!< epoch completions
+    std::atomic<bool> _shutdown{false};
+    Tick _epochTarget = 0; //!< published before the release pulse
+
+    /** First cycle each core was observed done (0 = not yet); the
+     *  reported completion cycle is the max onset, which equals the
+     *  cycle a per-tick completion scan would have stopped at. */
+    std::vector<Tick> _doneOnset;
+
     Tick _cycle = 0;
     bool _deadlocked = false;
     std::string _deadlockReason;

@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include "checker/tso_checker.hh"
-#include "sim/event_queue.hh"
 
 namespace wb
 {
@@ -26,8 +25,7 @@ TEST(Checker, LegalInterleavingsOfTable2)
     // a reader doing ld y (older) then ld x (younger):
     // {old,old}, {old,new}, {new,new}.
     for (int c = 0; c < 3; ++c) {
-        EventQueue eq;
-        TsoChecker chk(&eq, 2);
+        TsoChecker chk(2);
         chk.storePerformed(1, X, 1, 1);
         chk.storePerformed(1, Y, 1, 1);
         switch (c) {
@@ -52,8 +50,7 @@ TEST(Checker, IllegalInterleaving6OfTable2)
 {
     // ld y binds new while ld x binds the old value that died
     // *before* st y became visible: the illegal outcome (6).
-    EventQueue eq;
-    TsoChecker chk(&eq, 2);
+    TsoChecker chk(2);
     chk.storePerformed(1, X, 1, 1); // x: v1 (v0 dead)
     chk.storePerformed(1, Y, 1, 1); // y: v1
     chk.loadCompleted(0, Y, 1, false); // older: new y
@@ -69,8 +66,7 @@ TEST(Checker, IndependentStoresMayAppearSwapped)
     // them: {new x? old y} in either order is legal as long as each
     // load's version interval can still be ordered. Reading y-old
     // after x-new is fine when y's old version is still live.
-    EventQueue eq;
-    TsoChecker chk(&eq, 3);
+    TsoChecker chk(3);
     chk.storePerformed(1, X, 1, 1); // x: v1
     // y still at v0 (no store to y yet).
     chk.loadCompleted(0, X, 1, false); // new x
@@ -81,8 +77,7 @@ TEST(Checker, IndependentStoresMayAppearSwapped)
 TEST(Checker, TransitiveChainViolation)
 {
     // Three loads: l1 reads z written after x died; l3 reads old x.
-    EventQueue eq;
-    TsoChecker chk(&eq, 2);
+    TsoChecker chk(2);
     const Addr Z = 0x3000;
     chk.storePerformed(1, X, 1, 1);
     chk.storePerformed(1, Y, 1, 1);
@@ -95,8 +90,7 @@ TEST(Checker, TransitiveChainViolation)
 
 TEST(Checker, SameAddressCoRR)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, 1);
+    TsoChecker chk(1);
     chk.storePerformed(0, X, 1, 1);
     chk.loadCompleted(0, X, 1, false); // new
     chk.loadCompleted(0, X, 0, false); // then old: illegal
@@ -105,8 +99,7 @@ TEST(Checker, SameAddressCoRR)
 
 TEST(Checker, ForwardedLoadsExempt)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, 1);
+    TsoChecker chk(1);
     chk.storePerformed(0, X, 1, 1);
     chk.loadCompleted(0, X, 1, false);
     // A forwarded load of a not-yet-visible store may "read past"
@@ -118,8 +111,7 @@ TEST(Checker, ForwardedLoadsExempt)
 
 TEST(Checker, WriteSerialisationViolation)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, 2);
+    TsoChecker chk(2);
     chk.storePerformed(0, X, 1, 1);
     chk.storePerformed(1, X, 2, 2);
     EXPECT_TRUE(chk.clean());
@@ -130,8 +122,7 @@ TEST(Checker, WriteSerialisationViolation)
 
 TEST(Checker, FutureVersionIsFlagged)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, 1);
+    TsoChecker chk(1);
     chk.storePerformed(0, X, 1, 1);
     chk.loadCompleted(0, X, 5, false); // version never performed
     EXPECT_FALSE(chk.clean());
@@ -139,8 +130,7 @@ TEST(Checker, FutureVersionIsFlagged)
 
 TEST(Checker, UnwrittenWordVersionZeroOnly)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, 1);
+    TsoChecker chk(1);
     chk.loadCompleted(0, X, 0, false);
     EXPECT_TRUE(chk.clean());
     chk.loadCompleted(0, X, 1, false);
@@ -149,8 +139,7 @@ TEST(Checker, UnwrittenWordVersionZeroOnly)
 
 TEST(Checker, PruningKeepsRecentHistory)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, 1, 16); // tiny history
+    TsoChecker chk(1, 16); // tiny history
     for (Version v = 1; v <= 100; ++v)
         chk.storePerformed(0, X, v, v);
     // Recent versions still check precisely.
@@ -161,8 +150,7 @@ TEST(Checker, PruningKeepsRecentHistory)
 
 TEST(Checker, PerCoreWatermarksIndependent)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, 2);
+    TsoChecker chk(2);
     chk.storePerformed(0, X, 1, 1);
     chk.storePerformed(0, Y, 1, 1);
     chk.loadCompleted(0, Y, 1, false);

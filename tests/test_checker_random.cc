@@ -19,7 +19,6 @@
 #include <vector>
 
 #include "checker/tso_checker.hh"
-#include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
 namespace wb
@@ -103,8 +102,7 @@ generateLegal(Rng &rng, int cores, int addrs, int events)
 std::size_t
 violations(const Execution &ex, int cores)
 {
-    EventQueue eq;
-    TsoChecker chk(&eq, cores);
+    TsoChecker chk(cores);
     // Stores first in visibility order... but loads must interleave
     // so versions referenced exist when checked. The checker only
     // needs stores to be recorded before a load binds a later
@@ -197,8 +195,7 @@ TEST(CheckerRandom, WriteSerialisationFuzz)
     // flagged; clean sequences must not.
     Rng rng(5);
     for (int trial = 0; trial < 100; ++trial) {
-        EventQueue eq;
-        TsoChecker chk(&eq, 2);
+        TsoChecker chk(2);
         const bool corrupt = trial % 2 == 1;
         Version v = 0;
         bool did_corrupt = false;

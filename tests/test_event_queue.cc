@@ -158,6 +158,25 @@ TEST(EventQueue, SchedulingInThePastPanics)
     EXPECT_EQ(fired, 1);
 }
 
+TEST(EventQueue, ScheduleInOverflowPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll();
+    ASSERT_EQ(eq.now(), 100u);
+    // now + delta would wrap Tick: before this guard the sum
+    // aliased to a small tick and tripped the past-tick panic with
+    // a misleading message (or, one tick earlier, silently
+    // scheduled at the wrong time). The overflow must be its own
+    // classified panic.
+    EXPECT_THROW(eq.scheduleIn(maxTick, [] {}), std::logic_error);
+    EXPECT_THROW(eq.scheduleIn(maxTick - 99, [] {}),
+                 std::logic_error);
+    // The largest representable delta is still legal.
+    eq.scheduleIn(maxTick - 100, [] {});
+    EXPECT_EQ(eq.nextTick(), maxTick);
+}
+
 TEST(EventQueue, StressMatchesReferenceOrder)
 {
     // Pseudo-random (when, priority) stream spanning several

@@ -60,9 +60,9 @@ TEST(Mesh, LatencyMatchesHops)
             got[std::size_t(n)] = {eq.now(), m->src};
         });
     // Disjoint routes so contention does not skew the latency.
-    net.send(mkMsg(0, 15));
-    net.send(mkMsg(5, 4));
-    eq.runAll();
+    net.send(mkMsg(0, 15), 0);
+    net.send(mkMsg(5, 4), 0);
+    net.drain(eq);
     EXPECT_EQ(got[15].when, 6u * 6u);
     EXPECT_EQ(got[4].when, 6u);
 }
@@ -74,8 +74,8 @@ TEST(Mesh, LocalDeliveryIsCheap)
     MeshNetwork net("net", &eq, &st, MeshConfig{});
     Tick when = 0;
     net.registerNode(3, [&](MsgPtr) { when = eq.now(); });
-    net.send(mkMsg(3, 3));
-    eq.runAll();
+    net.send(mkMsg(3, 3), 0);
+    net.drain(eq);
     EXPECT_EQ(when, 1u);
     // Local transfers cost no link traffic.
     EXPECT_EQ(net.flitHops(), 0u);
@@ -92,9 +92,9 @@ TEST(Mesh, ContentionSerialisesLink)
     });
     // Two 5-flit packets on the same link, same vnet: the second
     // serialises behind the first.
-    net.send(mkMsg(0, 1, VNet::Request, 5));
-    net.send(mkMsg(0, 1, VNet::Request, 5));
-    eq.runAll();
+    net.send(mkMsg(0, 1, VNet::Request, 5), 0);
+    net.send(mkMsg(0, 1, VNet::Request, 5), 0);
+    net.drain(eq);
     ASSERT_EQ(arrivals.size(), 2u);
     EXPECT_EQ(arrivals[0], 6u);
     EXPECT_EQ(arrivals[1], 6u + 5u);
@@ -109,9 +109,9 @@ TEST(Mesh, VirtualNetworksDoNotContend)
     net.registerNode(1, [&](MsgPtr) {
         arrivals.push_back(eq.now());
     });
-    net.send(mkMsg(0, 1, VNet::Request, 5));
-    net.send(mkMsg(0, 1, VNet::Response, 5));
-    eq.runAll();
+    net.send(mkMsg(0, 1, VNet::Request, 5), 0);
+    net.send(mkMsg(0, 1, VNet::Response, 5), 0);
+    net.drain(eq);
     ASSERT_EQ(arrivals.size(), 2u);
     EXPECT_EQ(arrivals[0], 6u);
     EXPECT_EQ(arrivals[1], 6u); // separate vnet, no serialisation
@@ -123,8 +123,8 @@ TEST(Mesh, TrafficAccounting)
     StatRegistry st;
     MeshNetwork net("net", &eq, &st, MeshConfig{});
     net.registerNode(15, [](MsgPtr) {});
-    net.send(mkMsg(0, 15, VNet::Response, 5));
-    eq.runAll();
+    net.send(mkMsg(0, 15, VNet::Response, 5), 0);
+    net.drain(eq);
     EXPECT_EQ(net.messages(), 1u);
     EXPECT_EQ(net.flitHops(), 5u * 6u);
 }
@@ -146,8 +146,8 @@ TEST(Ideal, JitterReordersMessages)
     // Send 20 messages tagged 1..20 (via flits); with jitter, the
     // arrival order must differ from the send order at least once.
     for (unsigned i = 1; i <= 20; ++i)
-        net.send(mkMsg(0, 1, VNet::Request, i));
-    eq.runAll();
+        net.send(mkMsg(0, 1, VNet::Request, i), 0);
+    net.drain(eq);
     ASSERT_EQ(order.size(), 20u);
     bool reordered = false;
     for (std::size_t i = 1; i < order.size(); ++i)
@@ -169,8 +169,8 @@ TEST(Ideal, NoJitterKeepsOrder)
         order.push_back(int(m->flits));
     });
     for (unsigned i = 1; i <= 10; ++i)
-        net.send(mkMsg(0, 1, VNet::Request, i));
-    eq.runAll();
+        net.send(mkMsg(0, 1, VNet::Request, i), 0);
+    net.drain(eq);
     for (std::size_t i = 0; i < order.size(); ++i)
         EXPECT_EQ(order[i], int(i) + 1);
 }

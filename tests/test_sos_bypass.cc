@@ -118,6 +118,7 @@ class Rig
     {
         for (Tick i = 0; i < n; ++i) {
             ++cycle;
+            net->deliverTick(cycle, eq);
             eq.runUntil(cycle);
             for (auto &l1 : l1s)
                 l1->tick();

@@ -132,8 +132,10 @@ TEST(SystemMulti, NonSilentEvictionsStayCorrect)
     SyntheticParams p;
     p.iterations = 50;
     p.privateWords = 2048;
-    p.sharedWords = 256;
-    p.sharedRatio = 0.3;
+    // Shared footprint must exceed the 4 KiB L1 below so S-state
+    // victims are picked regardless of commit-mode interleaving.
+    p.sharedWords = 2048;
+    p.sharedRatio = 0.5;
     p.storeRatio = 0.35;
     p.hotRatio = 0.3;
     p.hotWords = 32;

@@ -179,11 +179,11 @@ microMeshSend()
         m->src = int(rng.below(16));
         m->dst = int(rng.below(16));
         m->flits = 5;
-        net.send(std::move(m));
-        if (eq.size() > 4096)
-            eq.runAll();
+        net.send(std::move(m), eq.now());
+        if ((i & 4095) == 4095)
+            net.drain(eq);
     }
-    eq.runAll();
+    net.drain(eq);
     c.wallSeconds = secondsSince(t0);
     c.events = eq.executed();
     Fingerprint fp;
@@ -262,7 +262,7 @@ microMetrics(double scale)
             });
     const SimResults r = sys.run();
     c.wallSeconds = secondsSince(t0);
-    c.events = sys.eventQueue().executed();
+    c.events = sys.eventsExecuted();
     c.fingerprint = fingerprintResults(r);
     if (c.fingerprint != fpOff) {
         std::fprintf(stderr,
@@ -284,7 +284,8 @@ microMetrics(double scale)
 /** One fig8 cell: a benchmark profile on the paper's 16-core
  *  machine (bench/bench_common.hh paperConfig) in OooWB mode. */
 CellResult
-figCell(const std::string &name, CoreClass cls, double scale)
+figCell(const std::string &name, CoreClass cls, double scale,
+        int shards)
 {
     CellResult c{"fig8." + name + "." + coreClassName(cls), "fig"};
     Workload wl = makeBenchmark(name, 16, scale);
@@ -294,12 +295,16 @@ figCell(const std::string &name, CoreClass cls, double scale)
     cfg.checker = false;
     cfg.maxCycles = 400'000'000;
     cfg.setMode(CommitMode::OooWB);
+    // Sharding must never move a fingerprint — the cell name stays
+    // the same on purpose, so a --check against a single-shard
+    // baseline is exactly the determinism gate from docs/PARALLEL.md.
+    cfg.shards = shards;
 
     const auto t0 = std::chrono::steady_clock::now();
     System sys(cfg, wl);
     const SimResults r = sys.run();
     c.wallSeconds = secondsSince(t0);
-    c.events = sys.eventQueue().executed();
+    c.events = sys.eventsExecuted();
     c.fingerprint = fingerprintResults(r);
     if (!r.completed) {
         std::fprintf(stderr,
@@ -342,7 +347,7 @@ writeReport(std::ostream &os, const std::vector<CellResult> &cells,
     JsonWriter w(os);
     w.openObject();
     w.field("schema", std::string("wb-perf-1"));
-    w.field("bench", std::uint64_t(5));
+    w.field("bench", std::uint64_t(10));
     w.field("scale", scale);
     w.openArray("cells");
     for (const CellResult &c : cells) {
@@ -435,13 +440,16 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--out FILE] [--check BASELINE.json]\n"
-        "          [--max-regress FRAC] [--scale F]\n"
+        "          [--max-regress FRAC] [--scale F] [--shards N]\n"
         "          [--micro-only | --fig-only] [--quiet]\n"
         "\n"
         "Runs the fixed micro + fig8 perf matrix, writes a\n"
-        "wb-perf-1 JSON report (default BENCH_5.json), and with\n"
+        "wb-perf-1 JSON report (default BENCH_10.json), and with\n"
         "--check compares simulated-stat fingerprints (and, with\n"
-        "--max-regress, total wall clock) against a baseline.\n",
+        "--max-regress, total wall clock) against a baseline.\n"
+        "--shards N runs the fig cells sharded (docs/PARALLEL.md);\n"
+        "fingerprints must not move, so a --check against a\n"
+        "single-shard baseline doubles as the determinism gate.\n",
         argv0);
     return 64;
 }
@@ -451,10 +459,11 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    std::string outPath = "BENCH_5.json";
+    std::string outPath = "BENCH_10.json";
     std::string checkPath;
     double maxRegress = -1;
     double scale = 0.1;
+    int shards = 1;
     bool microOnly = false, figOnly = false, quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -482,6 +491,13 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             scale = std::atof(v);
+        } else if (a == "--shards") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            shards = std::atoi(v);
+            if (shards < 1 || shards > 16)
+                return usage(argv[0]);
         } else if (a == "--micro-only") {
             microOnly = true;
         } else if (a == "--fig-only") {
@@ -516,7 +532,7 @@ main(int argc, char **argv)
             CoreClass::SLM, CoreClass::NHM, CoreClass::HSW};
         for (const std::string &name : benchmarkNames())
             for (CoreClass cls : classes)
-                report(figCell(name, cls, scale));
+                report(figCell(name, cls, scale, shards));
     }
 
     double total = 0;

@@ -20,6 +20,7 @@
  *   64 usage error
  */
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,12 @@ usage()
         "                    ooo-unsafe          (default ooo-wb)\n"
         "  --class C         SLM | NHM | HSW     (default SLM)\n"
         "  --cores N         number of cores     (default 16)\n"
+        "  --shards N        run the mesh as N barrier-synced\n"
+        "                    shards on N host threads; reports are\n"
+        "                    byte-identical for every N (docs/\n"
+        "                    PARALLEL.md). Incompatible with the\n"
+        "                    fault/observability/checkpoint/trace\n"
+        "                    layers        (default 1)\n"
         "  --scale F         workload scale      (default 0.5)\n"
         "  --iters N         litmus iterations   (default 2000)\n"
         "  --network K       mesh | ideal        (default mesh)\n"
@@ -138,6 +145,51 @@ parseMode(const std::string &s, CommitMode &mode)
         mode = CommitMode::OooUnsafe;
     else
         return false;
+    return true;
+}
+
+/**
+ * Strict bounded count parse for flags like --cores/--iters/--ldt.
+ * The historical std::atoi calls silently read "16x" as 16 and
+ * "huge" as 0; here the whole string must be a decimal/hex number
+ * inside [lo, hi]. On failure, prints a usage-taxonomy complaint
+ * naming the flag and the specific defect (not a number, trailing
+ * garbage, out of range) — callers exit 64.
+ */
+bool
+parseCount(const char *flag, const std::string &s, long long lo,
+           long long hi, long long &out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(s[0]))) {
+        std::fprintf(stderr,
+                     "%s: '%s' is not an unsigned number\n", flag,
+                     s.c_str());
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end == s.c_str()) {
+        std::fprintf(stderr, "%s: '%s' is not a number\n", flag,
+                     s.c_str());
+        return false;
+    }
+    if (*end != '\0') {
+        std::fprintf(stderr,
+                     "%s: trailing garbage '%s' after number in "
+                     "'%s'\n",
+                     flag, end, s.c_str());
+        return false;
+    }
+    if (errno == ERANGE || v > static_cast<unsigned long long>(hi) ||
+        static_cast<long long>(v) < lo) {
+        std::fprintf(stderr,
+                     "%s: %s out of range [%lld, %lld]\n", flag,
+                     s.c_str(), lo, hi);
+        return false;
+    }
+    out = static_cast<long long>(v);
     return true;
 }
 
@@ -322,6 +374,7 @@ main(int argc, char **argv)
     CoreClass cls = CoreClass::SLM;
     int cores = 16;
     bool cores_set = false;
+    int shards = 1;
     double scale = 0.5;
     int iters = 2000;
     NetworkKind network = NetworkKind::Mesh;
@@ -369,13 +422,24 @@ main(int argc, char **argv)
                 return 64;
             }
         } else if (a == "--cores") {
-            cores = std::atoi(next());
+            long long v = 0;
+            if (!parseCount("--cores", next(), 1, 4096, v))
+                return 64;
+            cores = int(v);
             cores_set = true;
         } else if (a == "--scale")
             scale = std::atof(next());
-        else if (a == "--iters")
-            iters = std::atoi(next());
-        else if (a == "--network") {
+        else if (a == "--iters") {
+            long long v = 0;
+            if (!parseCount("--iters", next(), 1, 100'000'000, v))
+                return 64;
+            iters = int(v);
+        } else if (a == "--shards") {
+            long long v = 0;
+            if (!parseCount("--shards", next(), 1, 4096, v))
+                return 64;
+            shards = int(v);
+        } else if (a == "--network") {
             const std::string n = next();
             network = n == "ideal" ? NetworkKind::Ideal
                                    : NetworkKind::Mesh;
@@ -389,9 +453,12 @@ main(int argc, char **argv)
             silent_evictions = false;
         else if (a == "--in-order-issue")
             in_order_issue = true;
-        else if (a == "--ldt")
-            ldt = std::atoi(next());
-        else if (a == "--trace")
+        else if (a == "--ldt") {
+            long long v = 0;
+            if (!parseCount("--ldt", next(), 1, 1 << 20, v))
+                return 64;
+            ldt = int(v);
+        } else if (a == "--trace")
             enableTrace(next());
         else if (a == "--faults")
             faults_spec = next();
@@ -544,8 +611,48 @@ main(int argc, char **argv)
         wl_seed = p.seed;
     }
 
+    // Sharded execution trades the observability/fault layers for
+    // parallel speed (docs/PARALLEL.md): anything that logs, samples
+    // or snapshots mid-run would need its own cross-shard ordering
+    // story, so it is a usage error alongside --shards > 1.
+    if (shards > 1) {
+        if (shards > cores) {
+            std::fprintf(stderr,
+                         "--shards %d exceeds --cores %d (one tile "
+                         "per shard minimum)\n",
+                         shards, cores);
+            return 64;
+        }
+        const struct
+        {
+            bool set;
+            const char *flag;
+        } incompatible[] = {
+            {!faults_spec.empty(), "--faults"},
+            {flight_recorder != 0, "--flight-recorder"},
+            {!trace_out.empty(), "--trace-out"},
+            {timeline_period != 0, "--timeline"},
+            {!metrics_stream.empty(), "--metrics-stream"},
+            {!metrics_expo.empty(), "--metrics-expo"},
+            {checkpoint_at != 0, "--checkpoint-at"},
+            {!restore_path.empty(), "--restore"},
+            {!record_trace.empty(), "--record-trace"},
+            {Trace::anyEnabled(), "--trace"},
+        };
+        for (const auto &inc : incompatible) {
+            if (inc.set) {
+                std::fprintf(stderr,
+                             "%s is incompatible with --shards > 1 "
+                             "(docs/PARALLEL.md)\n",
+                             inc.flag);
+                return 64;
+            }
+        }
+    }
+
     SystemConfig cfg;
     cfg.numCores = cores;
+    cfg.shards = shards;
     cfg.core = makeCoreConfig(cls);
     cfg.core.ldtSize = ldt;
     cfg.core.inOrderIssue = in_order_issue;
